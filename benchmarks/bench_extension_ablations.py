@@ -1,0 +1,78 @@
+"""Extension ablations — design choices of GSM not covered by the paper's Fig. 6.
+
+The paper fixes three GSM design choices without ablating them: the edge
+attention inside the R-GCN aggregation, the subgraph radius ``t = 2`` and the
+average-pooling read-out.  This bench varies each one (attention off, 1-hop
+subgraphs, deeper 3-layer GNN) on one dataset and reports the same
+Hits@10-by-link-type view as Fig. 6, so the cost/benefit of every choice is
+visible next to the paper's own ablations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import EMBEDDING_DIM, EPOCHS, MAX_CANDIDATES, MAX_TEST_TRIPLES, bench_datasets, get_dataset, print_banner
+from repro.core.config import ModelConfig, TrainingConfig
+from repro.core.model import DEKGILP
+from repro.core.trainer import Trainer
+from repro.eval.evaluator import Evaluator
+from repro.eval.reporting import format_table
+
+#: name -> ModelConfig overrides relative to the default configuration.
+VARIANTS = {
+    "default (attention, 2 hops, 2 layers)": {},
+    "no edge attention": {"use_attention": False},
+    "1-hop subgraphs": {"subgraph_hops": 1},
+    "3 GNN layers": {"gnn_layers": 3},
+}
+
+
+def _train_variant(dataset, overrides, seed=0):
+    config = ModelConfig(embedding_dim=EMBEDDING_DIM, gnn_hidden_dim=EMBEDDING_DIM, **overrides)
+    training = TrainingConfig(epochs=EPOCHS, seed=seed)
+    model = DEKGILP(dataset.num_relations, config=config, seed=seed)
+    Trainer(model, dataset.train_graph, training).fit()
+    return model
+
+
+def test_extension_ablations(benchmark):
+    """Evaluate the GSM design-choice variants on the first dataset in scope."""
+    dataset_name = bench_datasets()[0]
+    dataset = get_dataset(dataset_name, "EQ")
+    evaluator = Evaluator(dataset, max_candidates=MAX_CANDIDATES, seed=0)
+    test_triples = dataset.test_triples
+    if MAX_TEST_TRIPLES is not None:
+        test_triples = test_triples[:MAX_TEST_TRIPLES]
+
+    rows = []
+    results = {}
+    for label, overrides in VARIANTS.items():
+        model = _train_variant(dataset, overrides)
+        result = evaluator.evaluate(model, test_triples=test_triples, model_name=label)
+        results[label] = result
+        rows.append({
+            "variant": label,
+            "Hits@10 enclosing": round(result.metric("Hits@10", "enclosing"), 3),
+            "Hits@10 bridging": round(result.metric("Hits@10", "bridging"), 3),
+            "MRR overall": round(result.metric("MRR"), 3),
+            "parameters": model.num_parameters(),
+        })
+
+    print_banner(f"Extension ablations — GSM design choices on {dataset_name} EQ")
+    print(format_table(rows))
+
+    # Sanity: every variant produces valid metrics and the deeper GNN has more parameters.
+    for row in rows:
+        assert 0.0 <= row["MRR overall"] <= 1.0
+    by_label = {row["variant"]: row for row in rows}
+    assert (by_label["3 GNN layers"]["parameters"]
+            > by_label["default (attention, 2 hops, 2 layers)"]["parameters"])
+    assert (by_label["no edge attention"]["parameters"]
+            < by_label["default (attention, 2 hops, 2 layers)"]["parameters"])
+
+    benchmark.pedantic(
+        lambda: evaluator.evaluate(_train_variant(dataset, {"subgraph_hops": 1}),
+                                   test_triples=test_triples[:5], model_name="timed"),
+        rounds=1, iterations=1,
+    )

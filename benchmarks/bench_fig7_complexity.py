@@ -1,0 +1,75 @@
+"""Fig. 7 — parameter complexity versus inference time.
+
+Two views are produced:
+
+* the closed-form parameter counts of §V-H evaluated at the paper's FB15k-237
+  ME scale (|E| = 3668, |R| = 215, d = 32), which reproduce the x-axis of
+  Fig. 7 exactly, and
+* measured parameter counts and per-link inference latency of the actual
+  (small-scale) trained models, which reproduce the qualitative y-axis
+  ordering: subgraph-reasoning models are slower per link than entity-
+  embedding models, and TACT is the slowest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import COMPLEXITY_MODELS, bench_datasets, get_dataset, get_trained_model, print_banner
+from repro.eval.complexity import measure_complexity, parameter_formula
+from repro.eval.reporting import format_table
+
+#: FB15k-237 ME statistics from Table II of the paper.
+PAPER_NUM_ENTITIES = 3668
+PAPER_NUM_RELATIONS = 215
+
+
+def test_fig7_parameter_formulas(benchmark):
+    """Closed-form Fig. 7 x-axis (parameter counts at the paper's scale)."""
+    rows = benchmark.pedantic(
+        lambda: [{
+            "model": model,
+            "parameters (paper scale)": parameter_formula(model, PAPER_NUM_ENTITIES,
+                                                           PAPER_NUM_RELATIONS, dim=32),
+        } for model in COMPLEXITY_MODELS],
+        rounds=3, iterations=1,
+    )
+    print_banner("Fig. 7 — parameter complexity (closed-form, paper scale)")
+    print(format_table(rows))
+
+    counts = {row["model"]: row["parameters (paper scale)"] for row in rows}
+    # Relation-only models are far below the entity-identity models.
+    assert counts["Grail"] < counts["TransE"]
+    assert counts["DEKG-ILP"] < counts["TransE"]
+    # DEKG-ILP sits between GraIL and TACT.
+    assert counts["Grail"] < counts["DEKG-ILP"] < counts["TACT"]
+
+
+def test_fig7_measured_complexity(benchmark):
+    """Measured parameter counts and inference latency of the trained models."""
+    dataset_name = bench_datasets()[0]
+    dataset = get_dataset(dataset_name, "ME")
+    context = dataset.split.evaluation_graph()
+    links = dataset.test_triples[:10]
+
+    reports = []
+    for model_name in COMPLEXITY_MODELS:
+        model = get_trained_model(model_name, dataset_name, "ME")
+        reports.append(measure_complexity(model, links, context=context, model_name=model_name))
+
+    rows = [{
+        "model": report.model_name,
+        "parameters (measured)": report.num_parameters,
+        "ms / link": round(report.milliseconds_per_link, 2),
+    } for report in reports]
+    print_banner(f"Fig. 7 — measured complexity on {dataset_name} ME ({len(links)} links)")
+    print(format_table(rows))
+
+    by_name = {r.model_name: r for r in reports}
+    # Subgraph-reasoning models pay more inference time per link than TransE.
+    assert by_name["DEKG-ILP"].milliseconds_per_link > by_name["TransE"].milliseconds_per_link
+    assert by_name["Grail"].milliseconds_per_link > by_name["TransE"].milliseconds_per_link
+
+    dekg = get_trained_model("DEKG-ILP", dataset_name, "ME")
+    dekg.set_context(context)
+    benchmark.pedantic(lambda: dekg.score_many(links), rounds=2, iterations=1)

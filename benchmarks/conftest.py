@@ -1,0 +1,9 @@
+"""pytest configuration for the benchmark harness."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make `import common` work regardless of the pytest rootdir.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,88 @@
+"""Drug–drug interaction discovery across disconnected knowledge graphs.
+
+The paper motivates bridging links with cross-graph discoveries such as
+drug–drug interactions ("the discovery of Artemisinin").  This example builds
+a synthetic biomedical KG: the original KG holds well-studied compounds,
+targets and diseases; the emerging KG holds a newly catalogued compound family
+whose internal structure is known but whose relationship to the established
+pharmacopoeia is not.  DEKG-ILP ranks candidate *interacts_with* and *treats*
+bridging links for the new compounds, and we compare it against GraIL — which,
+relying on connected subgraphs only, cannot separate the candidates.
+
+Run with:  python examples/drug_repurposing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DEKGILP, Evaluator, KnowledgeGraph, ModelConfig, Trainer, TrainingConfig, Triple, Vocabulary
+from repro.baselines import Grail
+from repro.datasets.synthetic import SyntheticKGConfig, generate_synthetic_kg
+from repro.kg.split import build_inductive_split
+from repro.datasets.benchmark import BenchmarkDataset
+from repro.eval.reporting import format_table, results_to_rows
+
+
+def build_biomedical_benchmark() -> BenchmarkDataset:
+    """A biomedical-flavoured synthetic KG split into original / emerging graphs.
+
+    Relations model compound-target-disease structure (binds, inhibits,
+    treats, interacts_with, ...); the latent entity types of the generator play
+    the role of compound families / target classes, so relation-composition
+    carries real signal for unseen compounds.
+    """
+    config = SyntheticKGConfig(
+        name="pharma", num_entities=260, num_relations=12, num_types=6,
+        num_triples=1400, compositional_fraction=0.35, seed=2024,
+    )
+    raw = generate_synthetic_kg(config)
+    split = build_inductive_split(raw, emerging_fraction=0.3, test_fraction=0.25, seed=7)
+    test = split.mixed_test(enclosing_ratio=1, bridging_ratio=2, seed=7)
+    return BenchmarkDataset(name="pharma", split_name="MB", split=split, test_triples=test)
+
+
+def main() -> None:
+    dataset = build_biomedical_benchmark()
+    stats = dataset.statistics()
+    emerging_stats = stats["G'"]
+    print("Synthetic pharmacology KG")
+    print(f"  established compounds (G) : |R|,|E|,|T| = {stats['G'].as_row()}")
+    print(f"  new compound family  (G') : |R|,|E|,|T| = {emerging_stats.as_row()}")
+    print(f"  candidate interactions    : {len(dataset.bridging_test())} bridging, "
+          f"{len(dataset.enclosing_test())} enclosing")
+
+    training = TrainingConfig(epochs=2, batch_size=16, contrastive_examples=1, seed=0)
+    config = ModelConfig(embedding_dim=24, gnn_hidden_dim=24, edge_dropout=0.3)
+
+    print("\nTraining DEKG-ILP ...")
+    dekg_ilp = DEKGILP(dataset.num_relations, config=config, seed=0)
+    Trainer(dekg_ilp, dataset.train_graph, training).fit()
+    dekg_ilp.name = "DEKG-ILP"
+
+    print("Training GraIL baseline ...")
+    grail = Grail(num_relations=dataset.num_relations, embedding_dim=24, seed=0)
+    grail.fit(dataset.train_graph, epochs=1)
+
+    evaluator = Evaluator(dataset, max_candidates=25, seed=0)
+    results = [
+        evaluator.evaluate(dekg_ilp, model_name="DEKG-ILP"),
+        evaluator.evaluate(grail, model_name="Grail"),
+    ]
+
+    print("\nOverall (mixed enclosing + bridging candidates):")
+    print(format_table(results_to_rows(results, scope="overall")))
+    print("\nBridging candidates only — the cross-graph interactions:")
+    print(format_table(results_to_rows(results, scope="bridging")))
+
+    dekg_bridging = results[0].metric("Hits@10", "bridging")
+    grail_bridging = results[1].metric("Hits@10", "bridging")
+    print(f"\nHits@10 on candidate cross-graph interactions: "
+          f"DEKG-ILP={dekg_bridging:.3f} vs GraIL={grail_bridging:.3f}")
+    if dekg_bridging >= grail_bridging:
+        print("DEKG-ILP recovers held-out cross-graph interactions that the "
+              "subgraph-only baseline cannot separate from noise.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Minimal reverse-mode automatic differentiation engine on top of numpy.
+
+This subpackage replaces the PyTorch/DGL substrate used by the original
+DEKG-ILP implementation.  It provides:
+
+* :class:`~repro.autodiff.tensor.Tensor` — an n-dimensional array that records
+  the operations applied to it and can back-propagate gradients.
+* :mod:`~repro.autodiff.functional` — functional ops (softmax, dropout, ...).
+* :class:`~repro.autodiff.module.Module` / :class:`Parameter` — the building
+  blocks for neural network layers.
+* :mod:`~repro.autodiff.layers` — Linear, Embedding, Dropout, activations.
+* :mod:`~repro.autodiff.optim` — SGD and Adam optimizers with gradient
+  clipping.
+"""
+
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.autodiff import functional
+from repro.autodiff.module import Module, Parameter
+from repro.autodiff.layers import Linear, Embedding, Dropout, ReLU, Sigmoid, Tanh, Sequential
+from repro.autodiff.optim import SGD, Adam, clip_grad_norm
+from repro.autodiff import init
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "init",
+]

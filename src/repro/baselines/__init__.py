@@ -1,0 +1,46 @@
+"""Baseline link-prediction models compared against DEKG-ILP in the paper.
+
+Transductive methods (TransE, RotatE, DistMult, ConvE) are adapted to the
+inductive setting exactly as described in §V-B: they are trained on the
+original KG and unseen entities receive randomly initialized embeddings.
+Inductive methods (GEN, RuleN, GraIL, TACT) follow their published designs on
+top of this repository's KG/GNN substrate.
+"""
+
+from repro.baselines.base import LinkPredictor, EmbeddingModel
+from repro.baselines.transe import TransE
+from repro.baselines.rotate import RotatE
+from repro.baselines.distmult import DistMult
+from repro.baselines.conve import ConvE
+from repro.baselines.gen import GEN
+from repro.baselines.rulen import RuleN
+from repro.baselines.grail import Grail
+from repro.baselines.tact import TACT
+
+__all__ = [
+    "LinkPredictor",
+    "EmbeddingModel",
+    "TransE",
+    "RotatE",
+    "DistMult",
+    "ConvE",
+    "GEN",
+    "RuleN",
+    "Grail",
+    "TACT",
+    "baseline_registry",
+]
+
+
+def baseline_registry() -> dict:
+    """Name → class mapping for every baseline (used by the benchmark harness)."""
+    return {
+        "TransE": TransE,
+        "RotatE": RotatE,
+        "DistMult": DistMult,
+        "ConvE": ConvE,
+        "GEN": GEN,
+        "RuleN": RuleN,
+        "Grail": Grail,
+        "TACT": TACT,
+    }

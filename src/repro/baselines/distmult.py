@@ -1,0 +1,20 @@
+"""DistMult (Yang et al., 2015): bilinear-diagonal scoring ``<h, r, t>``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.baselines.base import EmbeddingModel
+
+
+class DistMult(EmbeddingModel):
+    """Semantic-matching baseline (also the decoder used inside CLRM)."""
+
+    name = "DistMult"
+
+    def score_batch(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> Tensor:
+        head = self.entity_embeddings(heads)
+        relation = self.relation_embeddings(relations)
+        tail = self.entity_embeddings(tails)
+        return (head * relation * tail).sum(axis=1)

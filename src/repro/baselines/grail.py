@@ -1,0 +1,105 @@
+"""GraIL (Teru et al., 2020): inductive relation prediction by subgraph reasoning.
+
+GraIL is the structural ancestor of the paper's GSM module.  It extracts the
+*pruned* enclosing subgraph around a target link (nodes that are not within
+``t`` hops of both endpoints are dropped), labels nodes with the
+double-radius scheme, encodes the subgraph with an attention R-GCN and scores
+the link from the pooled graph, head, tail and relation vectors.  It therefore
+handles enclosing links but degenerates on bridging links: the pruned subgraph
+around a bridging link contains only the two endpoints and no connecting
+structure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff.module import Module
+from repro.autodiff.optim import Adam, clip_grad_norm
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.baselines.base import LinkPredictor
+from repro.core.gsm import GSM
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.sampling import NegativeSampler
+from repro.kg.triple import Triple
+
+
+class Grail(LinkPredictor, Module):
+    """Subgraph-reasoning baseline (GraIL)."""
+
+    name = "Grail"
+    improved_labeling = False
+    use_relation_correlation = False
+
+    def __init__(self, num_entities: int = 0, num_relations: int = 1, embedding_dim: int = 32,
+                 hops: int = 2, num_layers: int = 2, margin: float = 1.0,
+                 learning_rate: float = 0.01, batch_size: int = 16,
+                 edge_dropout: float = 0.5, seed: Optional[int] = 0, **_ignored):
+        Module.__init__(self)
+        self.num_relations = num_relations
+        self.margin = margin
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.seed = seed
+        self.gsm = GSM(
+            num_relations,
+            hidden_dim=embedding_dim,
+            hops=hops,
+            num_layers=num_layers,
+            edge_dropout=edge_dropout,
+            improved_labeling=self.improved_labeling,
+            rng=np.random.default_rng(seed),
+        )
+        self._context: Optional[KnowledgeGraph] = None
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    def _triple_score(self, graph: KnowledgeGraph, triple: Triple) -> Tensor:
+        return self.gsm.score(graph, triple)
+
+    def fit(self, train_graph: KnowledgeGraph, epochs: int = 10) -> "Grail":
+        self.train()
+        self._context = train_graph
+        sampler = NegativeSampler(train_graph, num_negatives=1, seed=self.seed)
+        optimizer = Adam(self.parameters(), lr=self.learning_rate)
+        triples = train_graph.triples
+        for _ in range(epochs):
+            order = self._rng.permutation(len(triples))
+            for start in range(0, len(triples), self.batch_size):
+                batch = [triples[i] for i in order[start:start + self.batch_size]]
+                if not batch:
+                    continue
+                optimizer.zero_grad()
+                losses = []
+                for positive in batch:
+                    positive_score = self._triple_score(train_graph, positive)
+                    negative = sampler.sample(positive)[0]
+                    negative_score = self._triple_score(train_graph, negative)
+                    losses.append(
+                        (Tensor(self.margin) - positive_score + negative_score).clamp_min(0.0)
+                    )
+                loss = F.stack(losses).mean()
+                loss.backward()
+                clip_grad_norm(self.parameters(), 5.0)
+                optimizer.step()
+        self.eval()
+        return self
+
+    # ------------------------------------------------------------------ #
+    def set_context(self, graph: KnowledgeGraph) -> None:
+        self._context = graph
+
+    def score(self, triple: Triple) -> float:
+        if self._context is None:
+            raise RuntimeError("call set_context(graph) before scoring")
+        with no_grad():
+            return float(self._triple_score(self._context, triple).data)
+
+    def score_many(self, triples: Sequence[Triple]) -> np.ndarray:
+        return np.array([self.score(t) for t in triples], dtype=np.float64)
+
+    def num_parameters(self) -> int:
+        return Module.num_parameters(self)

@@ -1,0 +1,47 @@
+"""RotatE (Sun et al., 2019): relations as rotations in complex space.
+
+Entity embeddings are complex vectors stored as ``[real ‖ imaginary]`` blocks
+of length ``2d``; relation embeddings are phase vectors of length ``d``.  The
+score is ``-||h ∘ r - t||`` where ``∘`` is complex elementwise multiplication
+by the unit-modulus rotation ``exp(iθ_r)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.baselines.base import EmbeddingModel
+
+
+class RotatE(EmbeddingModel):
+    """Rotation-based baseline."""
+
+    name = "RotatE"
+
+    def entity_dim(self) -> int:
+        return 2 * self.embedding_dim
+
+    def relation_dim(self) -> int:
+        return self.embedding_dim
+
+    def score_batch(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> Tensor:
+        head = self.entity_embeddings(heads)
+        tail = self.entity_embeddings(tails)
+        phases = self.relation_embeddings(relations)
+
+        d = self.embedding_dim
+        head_real, head_imag = head[:, :d], head[:, d:]
+        tail_real, tail_imag = tail[:, :d], tail[:, d:]
+
+        # Unit-modulus rotation components exp(iθ) = cos θ + i sin θ.
+        cos = phases.cos()
+        sin = phases.sin()
+
+        rotated_real = head_real * cos - head_imag * sin
+        rotated_imag = head_real * sin + head_imag * cos
+
+        diff_real = rotated_real - tail_real
+        diff_imag = rotated_imag - tail_imag
+        distance = ((diff_real * diff_real + diff_imag * diff_imag).sum(axis=1) + 1e-12) ** 0.5
+        return -distance

@@ -1,0 +1,22 @@
+"""TransE (Bordes et al., 2013): translation-based scoring ``-||h + r - t||``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.baselines.base import EmbeddingModel
+
+
+class TransE(EmbeddingModel):
+    """Translational-distance baseline."""
+
+    name = "TransE"
+
+    def score_batch(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> Tensor:
+        head = self.entity_embeddings(heads)
+        relation = self.relation_embeddings(relations)
+        tail = self.entity_embeddings(tails)
+        difference = head + relation - tail
+        distance = ((difference * difference).sum(axis=1) + 1e-12) ** 0.5
+        return -distance

@@ -1,0 +1,154 @@
+"""Command-line interface.
+
+Examples
+--------
+Generate a benchmark dataset and export it as TSV files::
+
+    python -m repro dataset --name fb15k-237 --split EQ --scale 0.4 --output ./data/fb-eq
+
+Train and evaluate a model::
+
+    python -m repro evaluate --model DEKG-ILP --name fb15k-237 --split MB --epochs 2
+
+Compare several models on one dataset::
+
+    python -m repro compare --models DEKG-ILP Grail TransE --name wn18rr --split EQ
+
+Show the paper-scale parameter-complexity table::
+
+    python -m repro complexity
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.datasets.benchmark import build_benchmark, dataset_names, split_names
+from repro.eval.complexity import parameter_formula
+from repro.eval.evaluator import Evaluator
+from repro.eval.reporting import format_table, results_to_rows
+from repro.kg.serialization import save_split
+from repro.utils.experiments import available_models, train_model
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--name", default="fb15k-237", choices=dataset_names(),
+                        help="KG family to generate")
+    parser.add_argument("--split", default="EQ", choices=split_names(),
+                        help="test mixture: EQ (1:1), MB (1:2), ME (2:1)")
+    parser.add_argument("--scale", type=float, default=0.4,
+                        help="size multiplier on the synthetic raw KG")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--embedding-dim", type=int, default=32)
+    parser.add_argument("--max-candidates", type=int, default=30,
+                        help="corrupted candidates per test triple and prediction form")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description="DEKG-ILP reproduction command line")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    dataset_parser = subparsers.add_parser("dataset", help="generate and export a benchmark dataset")
+    _add_dataset_arguments(dataset_parser)
+    dataset_parser.add_argument("--output", default=None,
+                                help="directory to export the split as TSV files")
+
+    evaluate_parser = subparsers.add_parser("evaluate", help="train and evaluate one model")
+    _add_dataset_arguments(evaluate_parser)
+    _add_training_arguments(evaluate_parser)
+    evaluate_parser.add_argument("--model", default="DEKG-ILP", choices=available_models())
+
+    compare_parser = subparsers.add_parser("compare", help="train and evaluate several models")
+    _add_dataset_arguments(compare_parser)
+    _add_training_arguments(compare_parser)
+    compare_parser.add_argument("--models", nargs="+", default=["DEKG-ILP", "Grail", "TransE"],
+                                choices=available_models())
+
+    complexity_parser = subparsers.add_parser("complexity",
+                                              help="print the closed-form parameter counts (Fig. 7)")
+    complexity_parser.add_argument("--entities", type=int, default=3668)
+    complexity_parser.add_argument("--relations", type=int, default=215)
+    complexity_parser.add_argument("--dim", type=int, default=32)
+
+    return parser
+
+
+def _command_dataset(args: argparse.Namespace) -> int:
+    dataset = build_benchmark(args.name, args.split, seed=args.seed, scale=args.scale)
+    stats = dataset.statistics()
+    rows = [
+        {"graph": "G", **dict(zip(("|R|", "|E|", "|T|"), stats["G"].as_row()))},
+        {"graph": "G'", **dict(zip(("|R|", "|E|", "|T|"), stats["G'"].as_row()))},
+    ]
+    print(format_table(rows))
+    print(f"test links: {len(dataset.test_triples)} "
+          f"({len(dataset.enclosing_test())} enclosing / {len(dataset.bridging_test())} bridging)")
+    if args.output:
+        path = save_split(dataset.split, args.output)
+        print(f"split exported to {path}")
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    dataset = build_benchmark(args.name, args.split, seed=args.seed, scale=args.scale)
+    model = train_model(args.model, dataset, epochs=args.epochs,
+                        embedding_dim=args.embedding_dim, seed=args.seed)
+    evaluator = Evaluator(dataset, max_candidates=args.max_candidates, seed=args.seed)
+    result = evaluator.evaluate(model, model_name=args.model)
+    for scope in ("overall", "enclosing", "bridging"):
+        rows = results_to_rows([result], scope=scope)
+        print(f"\n{scope}:")
+        print(format_table(rows, columns=["model", "MRR", "Hits@1", "Hits@5", "Hits@10"]))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    dataset = build_benchmark(args.name, args.split, seed=args.seed, scale=args.scale)
+    evaluator = Evaluator(dataset, max_candidates=args.max_candidates, seed=args.seed)
+    results = []
+    for model_name in args.models:
+        print(f"training {model_name} ...", file=sys.stderr)
+        model = train_model(model_name, dataset, epochs=args.epochs,
+                            embedding_dim=args.embedding_dim, seed=args.seed)
+        results.append(evaluator.evaluate(model, model_name=model_name))
+    print(format_table(results_to_rows(results, scope="overall"),
+                       columns=["model", "MRR", "Hits@1", "Hits@5", "Hits@10"]))
+    print("\nbridging links only:")
+    print(format_table(results_to_rows(results, scope="bridging"),
+                       columns=["model", "MRR", "Hits@1", "Hits@5", "Hits@10"]))
+    return 0
+
+
+def _command_complexity(args: argparse.Namespace) -> int:
+    models = ["TransE", "RotatE", "ConvE", "GEN", "Grail", "TACT", "DEKG-ILP"]
+    rows = [{"model": name,
+             "parameters": parameter_formula(name, args.entities, args.relations, dim=args.dim)}
+            for name in models]
+    print(format_table(rows))
+    return 0
+
+
+_COMMANDS = {
+    "dataset": _command_dataset,
+    "evaluate": _command_evaluate,
+    "compare": _command_compare,
+    "complexity": _command_complexity,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: the DEKG-ILP model and its training loop."""
+
+from repro.core.config import ModelConfig, TrainingConfig
+from repro.core.relation_table import RelationComponentStore
+from repro.core.clrm import CLRM
+from repro.core.contrastive import ContrastiveSampler, contrastive_loss
+from repro.core.gsm import GSM
+from repro.core.model import DEKGILP
+from repro.core.trainer import Trainer, TrainingHistory
+from repro.core.pipeline import LinkPredictionPipeline, Prediction
+from repro.core.persistence import save_model, load_model
+
+__all__ = [
+    "LinkPredictionPipeline",
+    "Prediction",
+    "save_model",
+    "load_model",
+    "ModelConfig",
+    "TrainingConfig",
+    "RelationComponentStore",
+    "CLRM",
+    "ContrastiveSampler",
+    "contrastive_loss",
+    "GSM",
+    "DEKGILP",
+    "Trainer",
+    "TrainingHistory",
+]

@@ -1,0 +1,86 @@
+"""CLRM — Contrastive Learning-based Relation-specific Feature Modeling (§IV-B).
+
+The module owns:
+
+* the relation-specific feature matrix ``F`` (Eq. 1),
+* the fusion function ψ that turns a relation-component table into an entity
+  embedding (Eq. 3), and
+* the DistMult-style semantic score φ_sem (Eq. 4) with its relation
+  embeddings ``r_sem``.
+
+The contrastive optimization of ``F`` lives in
+:mod:`repro.core.contrastive`; this module only exposes the representation
+and scoring primitives it needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff import init
+from repro.autodiff.module import Module, Parameter
+from repro.autodiff.tensor import Tensor
+
+
+class CLRM(Module):
+    """Relation-specific feature modeling with a DistMult semantic decoder."""
+
+    def __init__(self, num_relations: int, embedding_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if num_relations < 1:
+            raise ValueError("num_relations must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.num_relations = num_relations
+        self.embedding_dim = embedding_dim
+        #: Relation-specific features F = {f_k} (Eq. 1).
+        self.relation_features = Parameter(init.xavier_uniform((num_relations, embedding_dim), rng=rng))
+        #: DistMult relation embeddings r_sem (Eq. 4).
+        self.relation_semantic = Parameter(init.xavier_uniform((num_relations, embedding_dim), rng=rng))
+
+    # ------------------------------------------------------------------ #
+    # fusion (Eq. 3)
+    # ------------------------------------------------------------------ #
+    def fuse(self, relation_component_table: np.ndarray) -> Tensor:
+        """ψ(A_i, F): weighted average of relation features for one entity."""
+        table = np.asarray(relation_component_table, dtype=np.float64)
+        if table.shape != (self.num_relations,):
+            raise ValueError(
+                f"relation-component table has shape {table.shape}, "
+                f"expected ({self.num_relations},)"
+            )
+        total = table.sum()
+        if total <= 0:
+            # An entity with no observed triples carries no semantic signal.
+            return Tensor(np.zeros(self.embedding_dim))
+        weights = Tensor((table / total)[None, :])  # (1, |R|)
+        return (weights @ self.relation_features).reshape(self.embedding_dim)
+
+    def fuse_batch(self, tables: np.ndarray) -> Tensor:
+        """Vectorized ψ over an ``(n, |R|)`` stack of relation-component tables."""
+        tables = np.asarray(tables, dtype=np.float64)
+        totals = tables.sum(axis=1, keepdims=True)
+        safe_totals = np.where(totals > 0, totals, 1.0)
+        weights = Tensor(tables / safe_totals)
+        return weights @ self.relation_features
+
+    # ------------------------------------------------------------------ #
+    # semantic score (Eq. 4)
+    # ------------------------------------------------------------------ #
+    def score(self, head_embedding: Tensor, relation: int, tail_embedding: Tensor) -> Tensor:
+        """DistMult score ⟨e_i, r_sem, e_j⟩ for a single triple."""
+        relation_vector = self.relation_semantic[int(relation)]
+        return (head_embedding * relation_vector * tail_embedding).sum()
+
+    def score_batch(self, head_embeddings: Tensor, relations: Sequence[int],
+                    tail_embeddings: Tensor) -> Tensor:
+        """Vectorized DistMult score for a batch of triples."""
+        relation_vectors = self.relation_semantic.gather_rows(np.asarray(relations, dtype=np.int64))
+        return (head_embeddings * relation_vectors * tail_embeddings).sum(axis=1)
+
+    # ------------------------------------------------------------------ #
+    def embed_entities(self, tables: np.ndarray) -> Tensor:
+        """Alias of :meth:`fuse_batch` kept for readability at call sites."""
+        return self.fuse_batch(tables)

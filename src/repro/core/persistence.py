@@ -1,0 +1,60 @@
+"""Saving and loading trained DEKG-ILP models.
+
+A checkpoint is a single ``.npz`` file holding every parameter array plus a
+JSON-encoded header with the model configuration, so that
+:func:`load_model` can rebuild an identical architecture before restoring the
+weights.  The context graph is *not* stored — it is data, not model state —
+so callers re-bind it with :meth:`DEKGILP.set_context` after loading.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.config import ModelConfig
+from repro.core.model import DEKGILP
+
+PathLike = Union[str, Path]
+
+_HEADER_KEY = "__header__"
+_FORMAT_VERSION = 1
+
+
+def save_model(model: DEKGILP, path: PathLike) -> Path:
+    """Write ``model``'s configuration and parameters to ``path`` (``.npz``)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "num_relations": model.num_relations,
+        "config": dataclasses.asdict(model.config),
+        "class": type(model).__name__,
+    }
+    arrays = {name: value for name, value in model.state_dict().items()}
+    arrays[_HEADER_KEY] = np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_model(path: PathLike, seed: int = 0) -> DEKGILP:
+    """Rebuild a DEKG-ILP model from a checkpoint written by :func:`save_model`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        if _HEADER_KEY not in archive:
+            raise ValueError(f"{path} is not a repro model checkpoint (missing header)")
+        header = json.loads(bytes(archive[_HEADER_KEY].tolist()).decode("utf-8"))
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint format version {header.get('format_version')}")
+        config = ModelConfig(**header["config"])
+        model = DEKGILP(int(header["num_relations"]), config=config, seed=seed)
+        state = {name: archive[name] for name in archive.files if name != _HEADER_KEY}
+    model.load_state_dict(state)
+    model.eval()
+    return model

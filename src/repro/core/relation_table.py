@@ -1,0 +1,57 @@
+"""Relation-component tables (Eq. 2) with a small cache layer.
+
+The relation-component table ``A_i`` of entity ``e_i`` counts, for each
+relation ``r_k``, how many triples with relation ``r_k`` touch ``e_i``.  The
+table is the *only* entity-specific information the CLRM module uses, which is
+what makes the module entity-independent and therefore inductive: unseen
+entities in a DEKG get a table from their own associated triples and are then
+embedded with the relation features learned on the original KG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+
+
+class RelationComponentStore:
+    """Computes and caches relation-component tables against a context graph."""
+
+    def __init__(self, graph: KnowledgeGraph):
+        self.graph = graph
+        self.num_relations = graph.num_relations
+        self._cache: Dict[int, np.ndarray] = {}
+
+    def table(self, entity: int) -> np.ndarray:
+        """Return ``A_i`` for ``entity`` (cached)."""
+        cached = self._cache.get(entity)
+        if cached is None:
+            cached = self.graph.relation_component_table(entity)
+            self._cache[entity] = cached
+        return cached
+
+    def tables(self, entities: Iterable[int]) -> np.ndarray:
+        """Stack tables for several entities into an ``(n, |R|)`` matrix."""
+        return np.stack([self.table(e) for e in entities])
+
+    def invalidate(self, entity: Optional[int] = None) -> None:
+        """Drop cached tables (all of them, or a single entity's)."""
+        if entity is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(entity, None)
+
+    def with_graph(self, graph: KnowledgeGraph) -> "RelationComponentStore":
+        """Return a new store bound to ``graph`` (used when switching to G ∪ G')."""
+        return RelationComponentStore(graph)
+
+    def average_per_relation(self, entity: int) -> float:
+        """``m_i`` of Eq. 5: mean triple count over the entity's non-zero relations."""
+        table = self.table(entity)
+        nonzero = table[table > 0]
+        if nonzero.size == 0:
+            return 0.0
+        return float(nonzero.mean())

@@ -1,0 +1,22 @@
+"""Synthetic benchmark datasets calibrated to the paper's Table II."""
+
+from repro.datasets.synthetic import SyntheticKGConfig, generate_synthetic_kg
+from repro.datasets.benchmark import (
+    BenchmarkDataset,
+    BENCHMARK_PROFILES,
+    SPLIT_RATIOS,
+    build_benchmark,
+    dataset_names,
+    split_names,
+)
+
+__all__ = [
+    "SyntheticKGConfig",
+    "generate_synthetic_kg",
+    "BenchmarkDataset",
+    "BENCHMARK_PROFILES",
+    "SPLIT_RATIOS",
+    "build_benchmark",
+    "dataset_names",
+    "split_names",
+]

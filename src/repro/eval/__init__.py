@@ -1,0 +1,25 @@
+"""Evaluation protocol: filtered ranking, MRR/Hits@N, complexity and case study."""
+
+from repro.eval.metrics import RankingMetrics, mean_reciprocal_rank, hits_at
+from repro.eval.ranking import rank_candidates, filtered_candidates
+from repro.eval.evaluator import EvaluationResult, Evaluator
+from repro.eval.complexity import ComplexityReport, measure_complexity, parameter_formula
+from repro.eval.case_study import embedding_heatmap, case_study
+from repro.eval.reporting import format_table, results_to_rows
+
+__all__ = [
+    "RankingMetrics",
+    "mean_reciprocal_rank",
+    "hits_at",
+    "rank_candidates",
+    "filtered_candidates",
+    "EvaluationResult",
+    "Evaluator",
+    "ComplexityReport",
+    "measure_complexity",
+    "parameter_formula",
+    "embedding_heatmap",
+    "case_study",
+    "format_table",
+    "results_to_rows",
+]

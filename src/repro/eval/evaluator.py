@@ -1,0 +1,123 @@
+"""The end-to-end evaluation driver for one model on one benchmark dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.datasets.benchmark import BenchmarkDataset
+from repro.eval.metrics import RankingMetrics
+from repro.eval.ranking import filtered_candidates, rank_candidates
+from repro.kg.triple import Triple
+
+
+@dataclass
+class EvaluationResult:
+    """Metrics for the mixed test set plus the enclosing-only / bridging-only views."""
+
+    model_name: str
+    dataset_name: str
+    split_name: str
+    overall: RankingMetrics = field(default_factory=RankingMetrics)
+    enclosing: RankingMetrics = field(default_factory=RankingMetrics)
+    bridging: RankingMetrics = field(default_factory=RankingMetrics)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Nested {scope: {metric: value}} dictionary."""
+        return {
+            "overall": self.overall.summary(),
+            "enclosing": self.enclosing.summary(),
+            "bridging": self.bridging.summary(),
+        }
+
+    def metric(self, name: str, scope: str = "overall") -> float:
+        """Single metric lookup, e.g. ``result.metric("Hits@10", "bridging")``."""
+        return self.summary()[scope][name]
+
+
+class Evaluator:
+    """Ranks test triples under the paper's filtered protocol.
+
+    Parameters
+    ----------
+    dataset:
+        The benchmark instance (provides the train graph, emerging graph and
+        the mixed test triples).
+    forms:
+        Which prediction forms to evaluate; the paper uses head, tail and
+        relation prediction.
+    max_candidates:
+        Cap on the number of corrupted candidates per (triple, form).  ``None``
+        ranks against every entity/relation, which is exact but expensive for
+        subgraph models; the default keeps CPU runs tractable while preserving
+        relative ordering between models.
+    """
+
+    def __init__(self, dataset: BenchmarkDataset, forms: Sequence[str] = ("head", "tail"),
+                 max_candidates: Optional[int] = 50, seed: int = 0,
+                 hits_levels: Sequence[int] = (1, 5, 10)):
+        self.dataset = dataset
+        self.forms = tuple(forms)
+        self.max_candidates = max_candidates
+        self.hits_levels = tuple(hits_levels)
+        self._rng = np.random.default_rng(seed)
+
+        context = dataset.split.evaluation_graph()
+        self._context = context
+        self._entity_candidates = context.entities()
+        self._relation_candidates = list(range(dataset.num_relations))
+        self._known_facts: Set[Tuple[int, int, int]] = {
+            t.astuple() for t in context.triples
+        } | {t.astuple() for t in dataset.test_triples}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def context_graph(self):
+        """The graph visible to models at evaluation time (``G ∪ G'``)."""
+        return self._context
+
+    def evaluate(self, model, test_triples: Optional[Sequence[Triple]] = None,
+                 model_name: Optional[str] = None) -> EvaluationResult:
+        """Rank every test triple with ``model`` and aggregate the metrics.
+
+        ``model`` must provide ``set_context(graph)`` and ``score_many(triples)``.
+        """
+        model.set_context(self._context)
+        triples = list(test_triples) if test_triples is not None else list(self.dataset.test_triples)
+        result = EvaluationResult(
+            model_name=model_name or getattr(model, "name", type(model).__name__),
+            dataset_name=self.dataset.name,
+            split_name=self.dataset.split_name,
+            overall=RankingMetrics(hits_levels=self.hits_levels),
+            enclosing=RankingMetrics(hits_levels=self.hits_levels),
+            bridging=RankingMetrics(hits_levels=self.hits_levels),
+        )
+        for triple in triples:
+            for form in self.forms:
+                rank = self._rank_one(model, triple, form)
+                result.overall.add(rank)
+                if self.dataset.split.is_bridging(triple):
+                    result.bridging.add(rank)
+                elif self.dataset.split.is_enclosing(triple):
+                    result.enclosing.add(rank)
+        return result
+
+    def _rank_one(self, model, triple: Triple, form: str) -> int:
+        candidates = filtered_candidates(
+            triple, form,
+            entity_candidates=self._entity_candidates,
+            relation_candidates=self._relation_candidates,
+            known_facts=self._known_facts,
+            max_candidates=self.max_candidates,
+            rng=self._rng,
+        )
+        true_score = float(model.score_many([triple])[0])
+        candidate_scores = model.score_many(candidates) if candidates else []
+        return rank_candidates(true_score, candidate_scores)
+
+    # ------------------------------------------------------------------ #
+    def evaluate_many(self, models: Dict[str, object]) -> List[EvaluationResult]:
+        """Evaluate several (already trained) models on the same test set."""
+        return [self.evaluate(model, model_name=name) for name, model in models.items()]

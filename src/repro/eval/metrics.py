@@ -1,0 +1,68 @@
+"""Ranking metrics: Mean Reciprocal Rank and Hits@N."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+def mean_reciprocal_rank(ranks: Sequence[int]) -> float:
+    """MRR over 1-based ranks."""
+    ranks = np.asarray(list(ranks), dtype=np.float64)
+    if ranks.size == 0:
+        return 0.0
+    if np.any(ranks < 1):
+        raise ValueError("ranks must be 1-based positive integers")
+    return float(np.mean(1.0 / ranks))
+
+
+def hits_at(ranks: Sequence[int], n: int) -> float:
+    """Fraction of ranks that are ≤ n."""
+    ranks = np.asarray(list(ranks), dtype=np.float64)
+    if ranks.size == 0:
+        return 0.0
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return float(np.mean(ranks <= n))
+
+
+@dataclass
+class RankingMetrics:
+    """Accumulates ranks and reports the metrics used throughout §V."""
+
+    ranks: List[int] = field(default_factory=list)
+    hits_levels: Sequence[int] = (1, 5, 10)
+
+    def add(self, rank: int) -> None:
+        if rank < 1:
+            raise ValueError("rank must be 1-based")
+        self.ranks.append(int(rank))
+
+    def extend(self, ranks: Iterable[int]) -> None:
+        for rank in ranks:
+            self.add(rank)
+
+    def __len__(self) -> int:
+        return len(self.ranks)
+
+    @property
+    def mrr(self) -> float:
+        return mean_reciprocal_rank(self.ranks)
+
+    def hits(self, n: int) -> float:
+        return hits_at(self.ranks, n)
+
+    def summary(self) -> Dict[str, float]:
+        """MRR plus Hits@N for every configured level."""
+        result = {"MRR": self.mrr}
+        for level in self.hits_levels:
+            result[f"Hits@{level}"] = self.hits(level)
+        return result
+
+    def merge(self, other: "RankingMetrics") -> "RankingMetrics":
+        """Return a new accumulator containing both rank collections."""
+        merged = RankingMetrics(hits_levels=self.hits_levels)
+        merged.ranks = list(self.ranks) + list(other.ranks)
+        return merged

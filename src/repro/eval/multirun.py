@@ -1,0 +1,72 @@
+"""Multi-seed evaluation (the paper averages five runs with different seeds)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.datasets.benchmark import BenchmarkDataset
+from repro.eval.evaluator import Evaluator
+from repro.utils.experiments import train_model
+
+
+@dataclass
+class AggregatedMetrics:
+    """Mean and standard deviation of one metric over several runs."""
+
+    mean: float
+    std: float
+    values: List[float] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3f} ± {self.std:.3f}"
+
+
+@dataclass
+class MultiRunResult:
+    """Aggregated metrics for one (model, dataset) pair across seeds."""
+
+    model_name: str
+    dataset_name: str
+    split_name: str
+    metrics: Dict[str, Dict[str, AggregatedMetrics]] = field(default_factory=dict)
+
+    def metric(self, name: str, scope: str = "overall") -> AggregatedMetrics:
+        return self.metrics[scope][name]
+
+
+def run_with_seeds(model_name: str, dataset: BenchmarkDataset, seeds: Sequence[int] = (0, 1, 2),
+                   epochs: int = 2, embedding_dim: int = 32,
+                   max_candidates: int = 25) -> MultiRunResult:
+    """Train and evaluate ``model_name`` once per seed and aggregate the metrics.
+
+    Mirrors the paper's protocol of running every model five times with
+    different random seeds and reporting the average (§V-C); the number of
+    seeds is configurable to fit CPU budgets.
+    """
+    per_scope_values: Dict[str, Dict[str, List[float]]] = {}
+    for seed in seeds:
+        model = train_model(model_name, dataset, epochs=epochs,
+                            embedding_dim=embedding_dim, seed=seed)
+        evaluator = Evaluator(dataset, max_candidates=max_candidates, seed=seed)
+        result = evaluator.evaluate(model, model_name=model_name)
+        for scope, metrics in result.summary().items():
+            scope_store = per_scope_values.setdefault(scope, {})
+            for metric_name, value in metrics.items():
+                scope_store.setdefault(metric_name, []).append(value)
+
+    aggregated: Dict[str, Dict[str, AggregatedMetrics]] = {}
+    for scope, metrics in per_scope_values.items():
+        aggregated[scope] = {
+            name: AggregatedMetrics(mean=float(np.mean(values)), std=float(np.std(values)),
+                                    values=list(values))
+            for name, values in metrics.items()
+        }
+    return MultiRunResult(
+        model_name=model_name,
+        dataset_name=dataset.name,
+        split_name=dataset.split_name,
+        metrics=aggregated,
+    )

@@ -1,0 +1,73 @@
+"""Filtered candidate generation and rank computation (§V-C).
+
+For a test triple ``(h, r, t)`` the evaluator builds corrupted candidates for
+the three prediction forms of the paper — ``(?, r, t)``, ``(h, ?, t)`` and
+``(h, r, ?)`` — drawn from the full entity/relation set of ``G ∪ G'``.
+Candidates that are known facts (appear in the training graph, the observed
+emerging graph, or the test set) are filtered out, and the rank of the true
+triple among the surviving candidates is reported.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.kg.triple import Triple
+
+PredictionForm = str  # "head" | "tail" | "relation"
+
+
+def filtered_candidates(triple: Triple, form: PredictionForm,
+                        entity_candidates: Sequence[int],
+                        relation_candidates: Sequence[int],
+                        known_facts: Set[Tuple[int, int, int]],
+                        max_candidates: Optional[int] = None,
+                        rng: Optional[np.random.Generator] = None) -> List[Triple]:
+    """Corrupted-but-unknown candidates for one test triple and prediction form.
+
+    The true triple is never included; callers score it separately.  When
+    ``max_candidates`` is given, a uniform random subset of that size is used
+    (the standard sampled-ranking approximation, needed to keep the
+    subgraph-based models tractable on CPU).
+    """
+    if form == "head":
+        candidates = [
+            Triple(entity, triple.relation, triple.tail)
+            for entity in entity_candidates if entity != triple.head
+        ]
+    elif form == "tail":
+        candidates = [
+            Triple(triple.head, triple.relation, entity)
+            for entity in entity_candidates if entity != triple.tail
+        ]
+    elif form == "relation":
+        candidates = [
+            Triple(triple.head, relation, triple.tail)
+            for relation in relation_candidates if relation != triple.relation
+        ]
+    else:
+        raise ValueError(f"unknown prediction form {form!r}")
+
+    candidates = [c for c in candidates if c.astuple() not in known_facts]
+    if max_candidates is not None and len(candidates) > max_candidates:
+        rng = rng or np.random.default_rng()
+        chosen = rng.choice(len(candidates), size=max_candidates, replace=False)
+        candidates = [candidates[i] for i in chosen]
+    return candidates
+
+
+def rank_candidates(true_score: float, candidate_scores: Iterable[float]) -> int:
+    """1-based rank of the true triple among its corrupted candidates.
+
+    Ties are broken pessimistically against the model (candidates scoring
+    exactly the same as the true triple count as ranked above it half the
+    time, using the standard "average" tie policy rounded up).
+    """
+    scores = np.asarray(list(candidate_scores), dtype=np.float64)
+    if scores.size == 0:
+        return 1
+    higher = int(np.sum(scores > true_score))
+    equal = int(np.sum(scores == true_score))
+    return 1 + higher + (equal + 1) // 2

@@ -1,0 +1,53 @@
+"""Plain-text tables in the shape of the paper's result tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.eval.evaluator import EvaluationResult
+
+
+def results_to_rows(results: Sequence[EvaluationResult], scope: str = "overall",
+                    metrics: Sequence[str] = ("MRR", "Hits@1", "Hits@5", "Hits@10")) -> List[Dict[str, object]]:
+    """Flatten evaluation results into row dictionaries (one per model)."""
+    rows: List[Dict[str, object]] = []
+    for result in results:
+        summary = result.summary()[scope]
+        row: Dict[str, object] = {
+            "model": result.model_name,
+            "dataset": result.dataset_name,
+            "split": result.split_name,
+        }
+        for metric in metrics:
+            row[metric] = round(summary[metric], 3)
+        rows.append(row)
+    return rows
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Render row dictionaries as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), max(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append("  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def markdown_table(rows: Sequence[Dict[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Render row dictionaries as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    lines = ["| " + " | ".join(str(c) for c in columns) + " |",
+             "| " + " | ".join("---" for _ in columns) + " |"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row.get(c, "")) for c in columns) + " |")
+    return "\n".join(lines)

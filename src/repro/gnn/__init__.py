@@ -1,0 +1,13 @@
+"""Relational GNN substrate: R-GCN layers with edge attention and pooling."""
+
+from repro.gnn.message_passing import aggregate_messages
+from repro.gnn.rgcn import RGCNLayer
+from repro.gnn.encoder import SubgraphEncoder
+from repro.gnn.pooling import mean_pool_nodes
+
+__all__ = [
+    "aggregate_messages",
+    "RGCNLayer",
+    "SubgraphEncoder",
+    "mean_pool_nodes",
+]

@@ -1,0 +1,56 @@
+"""Multi-layer subgraph encoder used by GSM and the GraIL/TACT baselines."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autodiff.layers import Linear
+from repro.autodiff.module import Module
+from repro.autodiff.tensor import Tensor
+from repro.gnn.pooling import mean_pool_nodes
+from repro.gnn.rgcn import RGCNLayer
+from repro.subgraph.extraction import ExtractedSubgraph
+
+
+class SubgraphEncoder(Module):
+    """Encode an extracted, labeled subgraph into node and graph representations.
+
+    The encoder projects the one-hot double-radius node features into a hidden
+    space, applies ``num_layers`` R-GCN layers and returns the final node
+    matrix; convenience accessors give the head/tail/graph vectors the GSM
+    scoring function needs.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, num_relations: int,
+                 num_layers: int = 2, num_bases: int = 4, dropout: float = 0.0,
+                 use_attention: bool = True, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.input_projection = Linear(input_dim, hidden_dim, rng=rng)
+        self.layers = [
+            RGCNLayer(hidden_dim, hidden_dim, num_relations, num_bases=num_bases,
+                      use_attention=use_attention, dropout=dropout, rng=rng)
+            for _ in range(num_layers)
+        ]
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+
+    def forward(self, subgraph: ExtractedSubgraph) -> Tensor:
+        """Return the ``(num_nodes, hidden_dim)`` matrix of node representations."""
+        features = Tensor(subgraph.node_features)
+        hidden = self.input_projection(features)
+        for layer in self.layers:
+            hidden = layer(hidden, subgraph.edges)
+        return hidden
+
+    def encode(self, subgraph: ExtractedSubgraph) -> tuple[Tensor, Tensor, Tensor]:
+        """Return ``(graph_vector, head_vector, tail_vector)`` for ``subgraph``."""
+        nodes = self.forward(subgraph)
+        graph_vector = mean_pool_nodes(nodes)
+        head_vector = nodes[subgraph.head_index()]
+        tail_vector = nodes[subgraph.tail_index()]
+        return graph_vector, head_vector, tail_vector

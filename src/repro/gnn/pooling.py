@@ -1,0 +1,28 @@
+"""Graph read-out functions."""
+
+from __future__ import annotations
+
+from repro.autodiff.tensor import Tensor
+
+
+def mean_pool_nodes(node_representations: Tensor) -> Tensor:
+    """Average-pool node representations into a single graph vector (Eq. 10)."""
+    return node_representations.mean(axis=0)
+
+
+def sum_pool_nodes(node_representations: Tensor) -> Tensor:
+    """Sum-pool node representations (provided for ablation experiments)."""
+    return node_representations.sum(axis=0)
+
+
+def max_pool_nodes(node_representations: Tensor) -> Tensor:
+    """Max-pool node representations (provided for ablation experiments).
+
+    Implemented with a softmax-free hard max on the forward values; gradients
+    flow only to the selected entries via the indexing op.
+    """
+    import numpy as np
+
+    argmax = np.argmax(node_representations.data, axis=0)
+    columns = np.arange(node_representations.shape[1])
+    return node_representations[argmax, columns]

@@ -1,0 +1,114 @@
+"""R-GCN layer with basis decomposition and edge attention (Eq. 8–9).
+
+The layer follows Schlichtkrull et al. (2018) with the GraIL-style edge
+attention AGGREGATE used by the paper: each edge's message is a
+relation-specific linear transform of the source node representation, scaled
+by a learned attention score computed from the source, destination and
+relation embeddings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff import init
+from repro.autodiff.layers import Dropout, Linear
+from repro.autodiff.module import Module, Parameter
+from repro.autodiff.tensor import Tensor
+from repro.gnn.message_passing import aggregate_messages, degree_normalization
+
+
+class RGCNLayer(Module):
+    """One relational graph convolution layer.
+
+    Parameters
+    ----------
+    in_dim, out_dim:
+        Input/output node feature dimensions.
+    num_relations:
+        Size of the shared relation vocabulary.
+    num_bases:
+        Number of basis matrices for the basis decomposition (caps the
+        parameter count at ``num_bases`` weight matrices instead of one per
+        relation).
+    use_attention:
+        Enable the GraIL-style edge attention gate.
+    dropout:
+        Edge dropout rate β applied to messages during training.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, num_relations: int,
+                 num_bases: int = 4, use_attention: bool = True,
+                 dropout: float = 0.0, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if num_bases < 1:
+            raise ValueError("num_bases must be >= 1")
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.num_relations = num_relations
+        self.num_bases = min(num_bases, num_relations)
+        self.use_attention = use_attention
+
+        rng = rng or np.random.default_rng()
+        # Basis decomposition: W_r = sum_b coeff[r, b] * basis[b]
+        self.basis = Parameter(init.xavier_uniform((self.num_bases, in_dim * out_dim), rng=rng))
+        self.coefficients = Parameter(init.xavier_uniform((num_relations, self.num_bases), rng=rng))
+        self.self_weight = Parameter(init.xavier_uniform((in_dim, out_dim), rng=rng))
+        self.bias = Parameter(init.zeros((out_dim,)))
+        if use_attention:
+            self.attention = Linear(2 * in_dim + out_dim, 1, rng=rng)
+        else:
+            self.attention = None
+        self.edge_dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+        self.relation_embedding = Parameter(init.xavier_uniform((num_relations, out_dim), rng=rng))
+
+    # ------------------------------------------------------------------ #
+    def relation_weights(self, relations: np.ndarray) -> Tensor:
+        """Per-edge relation weight matrices, shape ``(num_edges, in_dim, out_dim)``."""
+        coeff = self.coefficients.gather_rows(relations)  # (E, B)
+        flat = coeff @ self.basis  # (E, in*out)
+        return flat.reshape(len(relations), self.in_dim, self.out_dim)
+
+    def forward(self, node_features: Tensor, edges: np.ndarray) -> Tensor:
+        """Run one round of relational message passing.
+
+        ``edges`` is an ``(E, 3)`` integer array of (source, relation,
+        destination) *local* node indices.
+        """
+        num_nodes = node_features.shape[0]
+        self_message = node_features @ self.self_weight
+
+        if edges.size == 0:
+            out = self_message + self.bias
+            return out.relu()
+
+        sources = edges[:, 0]
+        relations = edges[:, 1]
+        destinations = edges[:, 2]
+
+        source_features = node_features.gather_rows(sources)  # (E, in_dim)
+        weights = self.relation_weights(relations)             # (E, in, out)
+        # Batched per-edge matvec implemented via elementwise product + sum.
+        messages = (source_features.reshape(len(sources), self.in_dim, 1) * weights).sum(axis=1)
+
+        if self.attention is not None:
+            destination_features = node_features.gather_rows(destinations)
+            relation_features = self.relation_embedding.gather_rows(relations)
+            attention_input = F.concat(
+                [source_features, destination_features, relation_features], axis=1
+            )
+            gate = self.attention(attention_input).sigmoid()  # (E, 1)
+        else:
+            gate = Tensor(np.ones((len(sources), 1)))
+
+        norm = Tensor(degree_normalization(destinations, num_nodes))
+        messages = messages * norm
+        if self.edge_dropout is not None:
+            gate = self.edge_dropout(gate)
+
+        aggregated = aggregate_messages(messages, destinations, num_nodes, weights=gate)
+        out = self_message + aggregated + self.bias
+        return out.relu()

@@ -1,0 +1,23 @@
+"""Knowledge-graph substrate: triples, vocabularies, graphs, sampling, splits."""
+
+from repro.kg.triple import Triple
+from repro.kg.vocabulary import Vocabulary
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.sampling import NegativeSampler, corrupt_triple
+from repro.kg.split import InductiveSplit, build_inductive_split
+from repro.kg.io import read_triples_tsv, write_triples_tsv
+from repro.kg.stats import GraphStatistics, compute_statistics
+
+__all__ = [
+    "Triple",
+    "Vocabulary",
+    "KnowledgeGraph",
+    "NegativeSampler",
+    "corrupt_triple",
+    "InductiveSplit",
+    "build_inductive_split",
+    "read_triples_tsv",
+    "write_triples_tsv",
+    "GraphStatistics",
+    "compute_statistics",
+]

@@ -1,0 +1,178 @@
+"""In-memory knowledge graph with adjacency and relation-component indexes."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.kg.triple import Triple
+from repro.kg.vocabulary import Vocabulary
+
+
+class KnowledgeGraph:
+    """A multi-relational directed graph ``G(E, R) = {(h, r, t)}``.
+
+    The class maintains several indexes that the rest of the library relies
+    on:
+
+    * ``neighbors(entity)`` — undirected adjacency for subgraph extraction.
+    * ``relation_component_table(entity)`` — per-relation triple counts used by
+      the CLRM module (Eq. 2 of the paper).
+    * ``triples_from(head)`` / ``triples_to(tail)`` — directed adjacency used
+      by rule mining and message passing.
+    """
+
+    def __init__(self, num_entities: int, num_relations: int,
+                 triples: Optional[Iterable[Triple]] = None,
+                 vocabulary: Optional[Vocabulary] = None):
+        if num_entities < 0 or num_relations < 0:
+            raise ValueError("entity and relation counts must be non-negative")
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.vocabulary = vocabulary
+        self._triples: List[Triple] = []
+        self._triple_set: Set[Tuple[int, int, int]] = set()
+        self._out: Dict[int, List[Triple]] = defaultdict(list)
+        self._in: Dict[int, List[Triple]] = defaultdict(list)
+        self._undirected: Dict[int, Set[int]] = defaultdict(set)
+        self._relation_counts: Dict[int, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+        if triples is not None:
+            self.add_triples(triples)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_tuples(cls, tuples: Iterable[Tuple[int, int, int]], num_entities: int,
+                    num_relations: int, vocabulary: Optional[Vocabulary] = None) -> "KnowledgeGraph":
+        """Build a graph from ``(head, relation, tail)`` integer tuples."""
+        triples = [Triple(*t) for t in tuples]
+        return cls(num_entities, num_relations, triples, vocabulary)
+
+    def add_triple(self, triple: Triple) -> bool:
+        """Add a triple; returns ``False`` if it was already present."""
+        key = triple.astuple()
+        if key in self._triple_set:
+            return False
+        self._validate(triple)
+        self._triple_set.add(key)
+        self._triples.append(triple)
+        self._out[triple.head].append(triple)
+        self._in[triple.tail].append(triple)
+        self._undirected[triple.head].add(triple.tail)
+        self._undirected[triple.tail].add(triple.head)
+        self._relation_counts[triple.head][triple.relation] += 1
+        self._relation_counts[triple.tail][triple.relation] += 1
+        return True
+
+    def add_triples(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns how many were new."""
+        return sum(1 for triple in triples if self.add_triple(triple))
+
+    def _validate(self, triple: Triple) -> None:
+        if not (0 <= triple.head < self.num_entities and 0 <= triple.tail < self.num_entities):
+            raise ValueError(f"entity id out of range in {triple} (num_entities={self.num_entities})")
+        if not 0 <= triple.relation < self.num_relations:
+            raise ValueError(f"relation id out of range in {triple} (num_relations={self.num_relations})")
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def triples(self) -> List[Triple]:
+        return list(self._triples)
+
+    def num_triples(self) -> int:
+        return len(self._triples)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple.astuple() in self._triple_set
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def contains(self, head: int, relation: int, tail: int) -> bool:
+        return (head, relation, tail) in self._triple_set
+
+    def entities(self) -> List[int]:
+        """Entities that appear in at least one triple."""
+        seen = set()
+        for triple in self._triples:
+            seen.add(triple.head)
+            seen.add(triple.tail)
+        return sorted(seen)
+
+    def relations(self) -> List[int]:
+        """Relations that appear in at least one triple."""
+        return sorted({triple.relation for triple in self._triples})
+
+    def triples_from(self, head: int) -> List[Triple]:
+        """All triples whose head is ``head``."""
+        return list(self._out.get(head, ()))
+
+    def triples_to(self, tail: int) -> List[Triple]:
+        """All triples whose tail is ``tail``."""
+        return list(self._in.get(tail, ()))
+
+    def triples_of(self, entity: int) -> List[Triple]:
+        """All triples touching ``entity`` (as head or tail)."""
+        return self.triples_from(entity) + self.triples_to(entity)
+
+    def neighbors(self, entity: int) -> Set[int]:
+        """Undirected neighbours of ``entity``."""
+        return set(self._undirected.get(entity, ()))
+
+    def degree(self, entity: int) -> int:
+        """Number of triples touching ``entity``."""
+        return len(self._out.get(entity, ())) + len(self._in.get(entity, ()))
+
+    # ------------------------------------------------------------------ #
+    # relation-component table (Eq. 2)
+    # ------------------------------------------------------------------ #
+    def relation_component_table(self, entity: int) -> np.ndarray:
+        """Return ``A_i``: the count of triples per relation touching ``entity``."""
+        counts = np.zeros(self.num_relations, dtype=np.float64)
+        for relation, count in self._relation_counts.get(entity, {}).items():
+            counts[relation] = count
+        return counts
+
+    def relation_component_matrix(self, entities: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Stack relation-component tables for ``entities`` (default: all)."""
+        if entities is None:
+            entities = range(self.num_entities)
+        return np.stack([self.relation_component_table(e) for e in entities])
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+    def subgraph(self, entities: Set[int]) -> "KnowledgeGraph":
+        """Return the induced subgraph on ``entities`` (keeps global ids)."""
+        sub = KnowledgeGraph(self.num_entities, self.num_relations, vocabulary=self.vocabulary)
+        sub.add_triples(t for t in self._triples if t.head in entities and t.tail in entities)
+        return sub
+
+    def merge(self, other: "KnowledgeGraph") -> "KnowledgeGraph":
+        """Union of this graph and ``other`` (entity/relation spaces must agree)."""
+        if other.num_relations != self.num_relations:
+            raise ValueError("cannot merge graphs with different relation spaces")
+        merged = KnowledgeGraph(max(self.num_entities, other.num_entities),
+                                self.num_relations, vocabulary=self.vocabulary)
+        merged.add_triples(self._triples)
+        merged.add_triples(other.triples)
+        return merged
+
+    def triple_array(self) -> np.ndarray:
+        """Return all triples as an ``(n, 3)`` int array ``[head, relation, tail]``."""
+        if not self._triples:
+            return np.zeros((0, 3), dtype=np.int64)
+        return np.array([t.astuple() for t in self._triples], dtype=np.int64)
+
+    def copy(self) -> "KnowledgeGraph":
+        """Deep copy of the graph structure (vocabulary is shared)."""
+        return KnowledgeGraph(self.num_entities, self.num_relations,
+                              self._triples, self.vocabulary)

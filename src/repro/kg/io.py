@@ -1,0 +1,70 @@
+"""Reading and writing triples in the common tab-separated format."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triple import Triple
+from repro.kg.vocabulary import Vocabulary
+
+PathLike = Union[str, Path]
+
+
+def read_triples_tsv(path: PathLike, vocabulary: Optional[Vocabulary] = None,
+                     create_missing: bool = True) -> Tuple[List[Triple], Vocabulary]:
+    """Read ``head<TAB>relation<TAB>tail`` lines into triples.
+
+    Unknown names are added to the vocabulary when ``create_missing`` is true,
+    otherwise a ``KeyError`` is raised — the latter is the right behaviour when
+    loading a test file against a fixed training vocabulary.
+    """
+    vocabulary = vocabulary if vocabulary is not None else Vocabulary()
+    triples: List[Triple] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(f"{path}:{line_number}: expected 3 tab-separated fields, got {len(parts)}")
+            head_name, relation_name, tail_name = parts
+            if create_missing:
+                head = vocabulary.add_entity(head_name)
+                relation = vocabulary.add_relation(relation_name)
+                tail = vocabulary.add_entity(tail_name)
+            else:
+                head = vocabulary.entity_id(head_name)
+                relation = vocabulary.relation_id(relation_name)
+                tail = vocabulary.entity_id(tail_name)
+            triples.append(Triple(head, relation, tail))
+    return triples, vocabulary
+
+
+def write_triples_tsv(path: PathLike, graph: KnowledgeGraph) -> None:
+    """Write every triple of ``graph`` as ``head<TAB>relation<TAB>tail`` names.
+
+    The graph must carry a vocabulary; ids alone are not portable.
+    """
+    if graph.vocabulary is None:
+        raise ValueError("graph has no vocabulary; cannot serialize names")
+    vocab = graph.vocabulary
+    with open(path, "w", encoding="utf-8") as handle:
+        for triple in graph.triples:
+            handle.write(
+                f"{vocab.entity_name(triple.head)}\t"
+                f"{vocab.relation_name(triple.relation)}\t"
+                f"{vocab.entity_name(triple.tail)}\n"
+            )
+
+
+def load_graph_tsv(path: PathLike, num_entities: Optional[int] = None,
+                   num_relations: Optional[int] = None,
+                   vocabulary: Optional[Vocabulary] = None) -> KnowledgeGraph:
+    """Load a TSV file directly into a :class:`KnowledgeGraph`."""
+    triples, vocab = read_triples_tsv(path, vocabulary=vocabulary)
+    n_ent = num_entities if num_entities is not None else vocab.num_entities
+    n_rel = num_relations if num_relations is not None else vocab.num_relations
+    return KnowledgeGraph(n_ent, n_rel, triples, vocab)

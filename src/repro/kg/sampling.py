@@ -1,0 +1,60 @@
+"""Negative sampling for margin-based training (Eq. 12 of the paper)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triple import Triple
+
+
+def corrupt_triple(triple: Triple, candidate_entities: Sequence[int],
+                   rng: np.random.Generator, corrupt_head: Optional[bool] = None) -> Triple:
+    """Return a copy of ``triple`` with the head or tail replaced by a random entity."""
+    if corrupt_head is None:
+        corrupt_head = bool(rng.integers(0, 2))
+    replacement = int(rng.choice(candidate_entities))
+    if corrupt_head:
+        return Triple(replacement, triple.relation, triple.tail)
+    return Triple(triple.head, triple.relation, replacement)
+
+
+class NegativeSampler:
+    """Draws corrupted triples that are not present in the reference graph.
+
+    The paper samples one negative per positive for the margin ranking loss;
+    ``num_negatives`` makes that configurable for ablations.
+    """
+
+    def __init__(self, graph: KnowledgeGraph, num_negatives: int = 1,
+                 seed: Optional[int] = None, max_attempts: int = 50):
+        if num_negatives < 1:
+            raise ValueError("num_negatives must be >= 1")
+        self.graph = graph
+        self.num_negatives = num_negatives
+        self.max_attempts = max_attempts
+        self._rng = np.random.default_rng(seed)
+        self._candidates = np.array(graph.entities() or list(range(graph.num_entities)), dtype=np.int64)
+
+    def sample(self, triple: Triple) -> List[Triple]:
+        """Return ``num_negatives`` corrupted versions of ``triple``.
+
+        A corruption that happens to be a known fact is rejected and resampled
+        (filtered negative sampling); after ``max_attempts`` the last candidate
+        is accepted to guarantee termination.
+        """
+        negatives: List[Triple] = []
+        for _ in range(self.num_negatives):
+            candidate = corrupt_triple(triple, self._candidates, self._rng)
+            attempts = 0
+            while candidate in self.graph and attempts < self.max_attempts:
+                candidate = corrupt_triple(triple, self._candidates, self._rng)
+                attempts += 1
+            negatives.append(candidate)
+        return negatives
+
+    def sample_batch(self, triples: Sequence[Triple]) -> List[List[Triple]]:
+        """Vector of negative lists, one list per positive triple."""
+        return [self.sample(triple) for triple in triples]

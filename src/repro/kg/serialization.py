@@ -1,0 +1,99 @@
+"""Persisting benchmark datasets and inductive splits to disk.
+
+A split is written as a directory of TSV files (the format GraIL-style
+repositories use), so that a benchmark generated here can be inspected,
+versioned, or swapped for real FB15k-237/NELL-995/WN18RR splits when those are
+available:
+
+    <root>/
+        original.tsv        # the original KG G (training graph)
+        emerging.tsv        # the observed part of the DEKG G'
+        enclosing_test.tsv  # held-out enclosing links
+        bridging_test.tsv   # held-out bridging links
+        metadata.json       # entity partition and counts
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.io import read_triples_tsv, write_triples_tsv
+from repro.kg.split import InductiveSplit
+from repro.kg.triple import Triple
+from repro.kg.vocabulary import Vocabulary
+
+PathLike = Union[str, Path]
+
+_FILES = {
+    "original": "original.tsv",
+    "emerging": "emerging.tsv",
+    "enclosing_test": "enclosing_test.tsv",
+    "bridging_test": "bridging_test.tsv",
+}
+_METADATA = "metadata.json"
+
+
+def save_split(split: InductiveSplit, root: PathLike) -> Path:
+    """Write ``split`` to ``root`` (created if missing) and return the path."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    vocabulary = split.original.vocabulary
+    if vocabulary is None:
+        raise ValueError("split graphs carry no vocabulary; cannot serialize names")
+
+    write_triples_tsv(root / _FILES["original"], split.original)
+    write_triples_tsv(root / _FILES["emerging"], split.emerging)
+    _write_triple_list(root / _FILES["enclosing_test"], split.enclosing_test, vocabulary)
+    _write_triple_list(root / _FILES["bridging_test"], split.bridging_test, vocabulary)
+
+    metadata = {
+        "num_entities": split.original.num_entities,
+        "num_relations": split.original.num_relations,
+        "original_entities": sorted(vocabulary.entity_name(e) for e in split.original_entities),
+        "emerging_entities": sorted(vocabulary.entity_name(e) for e in split.emerging_entities),
+    }
+    (root / _METADATA).write_text(json.dumps(metadata, indent=2), encoding="utf-8")
+    return root
+
+
+def load_split(root: PathLike) -> InductiveSplit:
+    """Load a split previously written by :func:`save_split`."""
+    root = Path(root)
+    metadata = json.loads((root / _METADATA).read_text(encoding="utf-8"))
+
+    vocabulary = Vocabulary()
+    # Entities/relations are re-registered in file order; ids may differ from
+    # the original session but stay internally consistent.
+    original_triples, vocabulary = read_triples_tsv(root / _FILES["original"], vocabulary)
+    emerging_triples, vocabulary = read_triples_tsv(root / _FILES["emerging"], vocabulary)
+    enclosing_triples, vocabulary = read_triples_tsv(root / _FILES["enclosing_test"], vocabulary)
+    bridging_triples, vocabulary = read_triples_tsv(root / _FILES["bridging_test"], vocabulary)
+
+    num_entities = max(vocabulary.num_entities, int(metadata["num_entities"]))
+    num_relations = max(vocabulary.num_relations, int(metadata["num_relations"]))
+
+    original = KnowledgeGraph(num_entities, num_relations, original_triples, vocabulary)
+    emerging = KnowledgeGraph(num_entities, num_relations, emerging_triples, vocabulary)
+
+    original_entities = {vocabulary.entity_id(name) for name in metadata["original_entities"]
+                         if vocabulary.has_entity(name)}
+    emerging_entities = {vocabulary.entity_id(name) for name in metadata["emerging_entities"]
+                         if vocabulary.has_entity(name)}
+
+    return InductiveSplit(
+        original=original,
+        emerging=emerging,
+        enclosing_test=list(enclosing_triples),
+        bridging_test=list(bridging_triples),
+        original_entities=original_entities,
+        emerging_entities=emerging_entities,
+    )
+
+
+def _write_triple_list(path: Path, triples: list[Triple], vocabulary: Vocabulary) -> None:
+    graph = KnowledgeGraph(vocabulary.num_entities, vocabulary.num_relations,
+                           triples, vocabulary)
+    write_triples_tsv(path, graph)

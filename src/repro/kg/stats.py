@@ -1,0 +1,43 @@
+"""Dataset statistics in the shape of the paper's Table II."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """``|R|``, ``|E|`` and ``|T|`` of a KG plus simple degree statistics."""
+
+    num_relations: int
+    num_entities: int
+    num_triples: int
+    mean_degree: float
+    triples_per_entity: float
+
+    def as_row(self) -> tuple[int, int, int]:
+        """The (|R|, |E|, |T|) row reported in Table II."""
+        return (self.num_relations, self.num_entities, self.num_triples)
+
+
+def compute_statistics(graph: KnowledgeGraph) -> GraphStatistics:
+    """Compute Table II-style statistics for ``graph``.
+
+    ``|E|`` and ``|R|`` count only entities/relations that actually appear in
+    at least one triple, matching how the paper reports its dataset sizes.
+    """
+    entities = graph.entities()
+    relations = graph.relations()
+    num_triples = graph.num_triples()
+    degrees = np.array([graph.degree(e) for e in entities]) if entities else np.zeros(1)
+    return GraphStatistics(
+        num_relations=len(relations),
+        num_entities=len(entities),
+        num_triples=num_triples,
+        mean_degree=float(degrees.mean()),
+        triples_per_entity=float(num_triples / max(1, len(entities))),
+    )

@@ -1,0 +1,31 @@
+"""The basic fact unit of a knowledge graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Triple:
+    """A ``(head, relation, tail)`` fact.
+
+    Entities and relations are referenced by integer ids; the mapping from ids
+    to human-readable names lives in :class:`~repro.kg.vocabulary.Vocabulary`.
+    """
+
+    head: int
+    relation: int
+    tail: int
+
+    def reversed(self) -> "Triple":
+        """Return the triple with head and tail swapped (same relation id)."""
+        return Triple(self.tail, self.relation, self.head)
+
+    def astuple(self) -> tuple[int, int, int]:
+        """Return ``(head, relation, tail)`` as a plain tuple."""
+        return (self.head, self.relation, self.tail)
+
+    def __iter__(self):
+        yield self.head
+        yield self.relation
+        yield self.tail

@@ -1,0 +1,94 @@
+"""Bidirectional mapping between entity/relation names and integer ids."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+
+class Vocabulary:
+    """Maps string names to contiguous integer ids and back.
+
+    A single :class:`Vocabulary` instance holds two independent namespaces,
+    one for entities and one for relations, matching the paper's definition of
+    a KG as ``G(E, R)``.
+    """
+
+    def __init__(self):
+        self._entity_to_id: Dict[str, int] = {}
+        self._relation_to_id: Dict[str, int] = {}
+        self._entities: List[str] = []
+        self._relations: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_entities(self) -> int:
+        return len(self._entities)
+
+    @property
+    def num_relations(self) -> int:
+        return len(self._relations)
+
+    def entities(self) -> List[str]:
+        """All entity names, ordered by id."""
+        return list(self._entities)
+
+    def relations(self) -> List[str]:
+        """All relation names, ordered by id."""
+        return list(self._relations)
+
+    # ------------------------------------------------------------------ #
+    def add_entity(self, name: str) -> int:
+        """Register ``name`` as an entity (idempotent) and return its id."""
+        if name not in self._entity_to_id:
+            self._entity_to_id[name] = len(self._entities)
+            self._entities.append(name)
+        return self._entity_to_id[name]
+
+    def add_relation(self, name: str) -> int:
+        """Register ``name`` as a relation (idempotent) and return its id."""
+        if name not in self._relation_to_id:
+            self._relation_to_id[name] = len(self._relations)
+            self._relations.append(name)
+        return self._relation_to_id[name]
+
+    def add_entities(self, names: Iterable[str]) -> List[int]:
+        return [self.add_entity(name) for name in names]
+
+    def add_relations(self, names: Iterable[str]) -> List[int]:
+        return [self.add_relation(name) for name in names]
+
+    # ------------------------------------------------------------------ #
+    def entity_id(self, name: str) -> int:
+        return self._entity_to_id[name]
+
+    def relation_id(self, name: str) -> int:
+        return self._relation_to_id[name]
+
+    def entity_name(self, entity_id: int) -> str:
+        return self._entities[entity_id]
+
+    def relation_name(self, relation_id: int) -> str:
+        return self._relations[relation_id]
+
+    def has_entity(self, name: str) -> bool:
+        return name in self._entity_to_id
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relation_to_id
+
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "Vocabulary":
+        """Return an independent copy of this vocabulary."""
+        clone = Vocabulary()
+        clone.add_entities(self._entities)
+        clone.add_relations(self._relations)
+        return clone
+
+    @classmethod
+    def from_names(cls, entities: Iterable[str], relations: Iterable[str],
+                   existing: Optional["Vocabulary"] = None) -> "Vocabulary":
+        """Build a vocabulary from name iterables, optionally extending ``existing``."""
+        vocab = existing.copy() if existing is not None else cls()
+        vocab.add_entities(entities)
+        vocab.add_relations(relations)
+        return vocab

@@ -1,0 +1,78 @@
+"""Double-radius node labeling (GraIL) and the paper's improved variant.
+
+Every node ``u`` of an extracted subgraph around a target link ``(i, r, j)``
+is labeled ``(d(i, u), d(j, u))`` where ``d(i, u)`` is the length of the
+shortest path from ``i`` to ``u`` that does not pass through ``j`` (and vice
+versa).  The endpoints themselves get the fixed labels ``(0, 1)`` and
+``(1, 0)``.
+
+GraIL prunes any node with ``d(i, u) > t`` or ``d(j, u) > t``.  The paper's
+improved labeling (GSM, §IV-C2) instead *keeps* those nodes and replaces the
+out-of-range distance with the sentinel ``UNREACHABLE`` (= -1), whose one-hot
+encoding is the all-zero vector.  That is what allows GSM to encode the two
+disconnected subgraphs around a bridging link.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+#: Sentinel distance for "not reachable within the hop budget".
+UNREACHABLE = -1
+
+
+def label_nodes(distances_to_head: Dict[int, int], distances_to_tail: Dict[int, int],
+                nodes: Iterable[int], head: int, tail: int, hops: int,
+                improved: bool = True) -> Dict[int, Tuple[int, int]]:
+    """Compute the ``(d(i, u), d(j, u))`` label of every node in ``nodes``.
+
+    With ``improved=False`` (GraIL behaviour) nodes whose either distance is
+    missing or exceeds ``hops`` are dropped from the returned mapping; with
+    ``improved=True`` they are kept with the ``UNREACHABLE`` sentinel.
+    The endpoints always receive ``(0, 1)`` / ``(1, 0)``.
+    """
+    labels: Dict[int, Tuple[int, int]] = {}
+    for node in nodes:
+        if node == head:
+            labels[node] = (0, 1)
+            continue
+        if node == tail:
+            labels[node] = (1, 0)
+            continue
+        d_head = distances_to_head.get(node)
+        d_tail = distances_to_tail.get(node)
+        head_ok = d_head is not None and d_head <= hops
+        tail_ok = d_tail is not None and d_tail <= hops
+        if improved:
+            labels[node] = (
+                d_head if head_ok else UNREACHABLE,
+                d_tail if tail_ok else UNREACHABLE,
+            )
+        elif head_ok and tail_ok:
+            labels[node] = (d_head, d_tail)
+        # else: pruned (GraIL)
+    return labels
+
+
+def node_label_features(labels: Dict[int, Tuple[int, int]], hops: int) -> Tuple[np.ndarray, Dict[int, int]]:
+    """Encode labels as concatenated one-hot vectors.
+
+    Returns ``(features, index)`` where ``features[index[node]]`` is the
+    ``2 * (hops + 1)``-dimensional input feature of ``node``:
+    ``one_hot(d(i, u)) ⊕ one_hot(d(j, u))``.  The ``UNREACHABLE`` sentinel maps
+    to an all-zero one-hot block, per the paper.
+    """
+    dim = hops + 1
+    ordered = sorted(labels)
+    index = {node: position for position, node in enumerate(ordered)}
+    features = np.zeros((len(ordered), 2 * dim), dtype=np.float64)
+    for node in ordered:
+        d_head, d_tail = labels[node]
+        row = index[node]
+        if d_head != UNREACHABLE:
+            features[row, min(d_head, dim - 1)] = 1.0
+        if d_tail != UNREACHABLE:
+            features[row, dim + min(d_tail, dim - 1)] = 1.0
+    return features, index

@@ -1,0 +1,67 @@
+"""Breadth-first neighborhood utilities over a knowledge graph."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Optional, Set
+
+from repro.kg.graph import KnowledgeGraph
+
+
+def k_hop_neighborhood(graph: KnowledgeGraph, entity: int, hops: int,
+                       exclude: Optional[Set[int]] = None) -> Set[int]:
+    """Return all entities within ``hops`` undirected steps of ``entity``.
+
+    ``entity`` itself is included.  Entities in ``exclude`` are neither visited
+    nor traversed (used to forbid paths through the other endpoint when
+    computing double-radius labels).
+    """
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    exclude = exclude or set()
+    visited = {entity}
+    frontier = {entity}
+    for _ in range(hops):
+        next_frontier: Set[int] = set()
+        for node in frontier:
+            for neighbor in graph.neighbors(node):
+                if neighbor in visited or neighbor in exclude:
+                    continue
+                visited.add(neighbor)
+                next_frontier.add(neighbor)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return visited
+
+
+def shortest_path_lengths(graph: KnowledgeGraph, source: int,
+                          targets: Iterable[int], max_distance: int,
+                          forbidden: Optional[Set[int]] = None) -> Dict[int, int]:
+    """BFS distances from ``source`` to each target, capped at ``max_distance``.
+
+    Paths may not pass *through* nodes in ``forbidden`` (the paper's node
+    labeling forbids paths through the other endpoint of the target link), but
+    a forbidden node can still be a target itself.  Targets that are not
+    reachable within ``max_distance`` are omitted from the result.
+    """
+    forbidden = forbidden or set()
+    targets = set(targets)
+    distances: Dict[int, int] = {}
+    if source in targets:
+        distances[source] = 0
+    seen = {source}
+    queue = deque([(source, 0)])
+    while queue:
+        node, dist = queue.popleft()
+        if dist >= max_distance:
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor in seen:
+                continue
+            seen.add(neighbor)
+            if neighbor in targets and neighbor not in distances:
+                distances[neighbor] = dist + 1
+            if neighbor not in forbidden:
+                queue.append((neighbor, dist + 1))
+    return distances

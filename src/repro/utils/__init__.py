@@ -1,0 +1,12 @@
+"""Shared utilities: seeding, timing, experiment orchestration."""
+
+from repro.utils.seed import set_global_seed
+from repro.utils.timing import Timer
+from repro.utils.experiments import train_model, available_models
+
+__all__ = [
+    "set_global_seed",
+    "Timer",
+    "train_model",
+    "available_models",
+]

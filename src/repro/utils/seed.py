@@ -1,0 +1,18 @@
+"""Global seeding helper."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+
+def set_global_seed(seed: int) -> None:
+    """Seed Python's and numpy's global random state.
+
+    Most of the library threads explicit ``numpy.random.Generator`` objects
+    through constructors; this helper exists for scripts and tests that also
+    rely on the global state (e.g. library defaults).
+    """
+    random.seed(seed)
+    np.random.seed(seed)

@@ -1,0 +1,31 @@
+"""A tiny wall-clock timer used by the complexity experiments."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.seconds >= 0
+    True
+    """
+
+    def __init__(self):
+        self._start: Optional[float] = None
+        self.seconds: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1000.0

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.benchmark import build_benchmark
+from repro.datasets.synthetic import SyntheticKGConfig, generate_synthetic_kg
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triple import Triple
+from repro.kg.vocabulary import Vocabulary
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture
+def tiny_graph() -> KnowledgeGraph:
+    """A hand-built 6-entity, 3-relation KG used across substrate tests.
+
+    Structure (relation ids in brackets):
+        0 -[0]-> 1,  1 -[1]-> 2,  0 -[2]-> 2,  3 -[0]-> 4,  4 -[1]-> 5,  2 -[0]-> 3
+    """
+    vocab = Vocabulary()
+    vocab.add_entities(f"e{i}" for i in range(6))
+    vocab.add_relations(f"r{k}" for k in range(3))
+    triples = [
+        Triple(0, 0, 1),
+        Triple(1, 1, 2),
+        Triple(0, 2, 2),
+        Triple(3, 0, 4),
+        Triple(4, 1, 5),
+        Triple(2, 0, 3),
+    ]
+    return KnowledgeGraph(6, 3, triples, vocab)
+
+
+@pytest.fixture(scope="session")
+def small_synthetic_graph() -> KnowledgeGraph:
+    """A small but non-trivial synthetic KG (session-scoped: generation is deterministic)."""
+    config = SyntheticKGConfig(num_entities=120, num_relations=10, num_types=5,
+                               num_triples=500, seed=3, name="test")
+    return generate_synthetic_kg(config)
+
+
+@pytest.fixture(scope="session")
+def small_benchmark():
+    """A scaled-down EQ benchmark instance shared by integration-style tests."""
+    return build_benchmark("fb15k-237", "EQ", seed=1, scale=0.25)

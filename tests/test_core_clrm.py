@@ -1,0 +1,270 @@
+"""Tests for the CLRM module, relation tables and contrastive learning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clrm import CLRM
+from repro.core.config import ModelConfig, TrainingConfig
+from repro.core.contrastive import ContrastiveSampler, batch_contrastive_loss, contrastive_loss
+from repro.core.relation_table import RelationComponentStore
+from repro.kg.triple import Triple
+
+
+class TestModelConfig:
+    def test_defaults_match_paper(self):
+        config = ModelConfig()
+        assert config.embedding_dim == 32
+        assert config.edge_dropout == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelConfig(embedding_dim=0)
+        with pytest.raises(ValueError):
+            ModelConfig(use_semantic=False, use_topological=False)
+        with pytest.raises(ValueError):
+            ModelConfig(edge_dropout=1.0)
+        with pytest.raises(ValueError):
+            ModelConfig(subgraph_hops=0)
+
+    def test_training_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(contrastive_weight=-1)
+
+
+class TestRelationComponentStore:
+    def test_matches_graph_table(self, tiny_graph):
+        store = RelationComponentStore(tiny_graph)
+        for entity in tiny_graph.entities():
+            np.testing.assert_array_equal(
+                store.table(entity), tiny_graph.relation_component_table(entity)
+            )
+
+    def test_cache_and_invalidate(self, tiny_graph):
+        store = RelationComponentStore(tiny_graph)
+        first = store.table(0)
+        assert store.table(0) is first          # cached object reused
+        store.invalidate(0)
+        assert store.table(0) is not first
+        store.invalidate()
+        assert not store._cache
+
+    def test_tables_stack(self, tiny_graph):
+        store = RelationComponentStore(tiny_graph)
+        stacked = store.tables([0, 1, 2])
+        assert stacked.shape == (3, tiny_graph.num_relations)
+
+    def test_average_per_relation(self, tiny_graph):
+        store = RelationComponentStore(tiny_graph)
+        # entity 2 touches relations 0, 1, 2 once each
+        assert store.average_per_relation(2) == pytest.approx(1.0)
+
+    def test_average_for_isolated_entity(self):
+        from repro.kg.graph import KnowledgeGraph
+
+        store = RelationComponentStore(KnowledgeGraph(3, 2))
+        assert store.average_per_relation(0) == 0.0
+
+    def test_with_graph_rebinds(self, tiny_graph, small_synthetic_graph):
+        store = RelationComponentStore(tiny_graph)
+        rebound = store.with_graph(small_synthetic_graph)
+        assert rebound.graph is small_synthetic_graph
+
+
+class TestCLRM:
+    def test_fuse_is_weighted_average(self):
+        clrm = CLRM(num_relations=3, embedding_dim=4, rng=np.random.default_rng(0))
+        table = np.array([2.0, 0.0, 1.0])
+        fused = clrm.fuse(table).data
+        features = clrm.relation_features.data
+        expected = (2 * features[0] + features[2]) / 3
+        np.testing.assert_allclose(fused, expected)
+
+    def test_fuse_zero_table_gives_zero_vector(self):
+        clrm = CLRM(3, 4, rng=np.random.default_rng(0))
+        np.testing.assert_array_equal(clrm.fuse(np.zeros(3)).data, np.zeros(4))
+
+    def test_fuse_shape_validation(self):
+        clrm = CLRM(3, 4)
+        with pytest.raises(ValueError):
+            clrm.fuse(np.zeros(5))
+
+    def test_fuse_batch_matches_single(self):
+        clrm = CLRM(4, 8, rng=np.random.default_rng(1))
+        tables = np.array([[1.0, 0, 2, 0], [0, 3, 0, 0], [0, 0, 0, 0]])
+        batch = clrm.fuse_batch(tables).data
+        for row, table in zip(batch, tables):
+            np.testing.assert_allclose(row, clrm.fuse(table).data)
+
+    def test_fusion_is_scale_invariant(self):
+        # Multiplying every count by a constant leaves the fused embedding unchanged,
+        # which is why relation *variation* preserves semantics.
+        clrm = CLRM(3, 4, rng=np.random.default_rng(0))
+        table = np.array([1.0, 2.0, 0.0])
+        np.testing.assert_allclose(clrm.fuse(table).data, clrm.fuse(table * 7).data)
+
+    def test_score_is_distmult(self):
+        clrm = CLRM(2, 3, rng=np.random.default_rng(0))
+        head = clrm.fuse(np.array([1.0, 0.0]))
+        tail = clrm.fuse(np.array([0.0, 2.0]))
+        expected = float(np.sum(head.data * clrm.relation_semantic.data[1] * tail.data))
+        assert clrm.score(head, 1, tail).item() == pytest.approx(expected)
+
+    def test_score_batch_matches_single(self):
+        clrm = CLRM(3, 4, rng=np.random.default_rng(2))
+        tables = np.array([[1.0, 1, 0], [0, 2, 1]])
+        heads = clrm.fuse_batch(tables)
+        tails = clrm.fuse_batch(tables[::-1].copy())
+        batch = clrm.score_batch(heads, [0, 2], tails).data
+        for i, relation in enumerate([0, 2]):
+            single = clrm.score(clrm.fuse(tables[i]), relation, clrm.fuse(tables[::-1][i]))
+            assert batch[i] == pytest.approx(single.item())
+
+    def test_invalid_relation_count(self):
+        with pytest.raises(ValueError):
+            CLRM(0, 4)
+
+    def test_unseen_entity_embedding_uses_shared_features(self):
+        # The same relation-component table must embed identically whether the
+        # entity was "seen" or not — CLRM is entity-independent by construction.
+        clrm = CLRM(3, 4, rng=np.random.default_rng(0))
+        table = np.array([1.0, 1.0, 0.0])
+        np.testing.assert_array_equal(clrm.fuse(table).data, clrm.fuse(table.copy()).data)
+
+
+class TestContrastiveSampler:
+    def test_variation_keeps_support(self):
+        sampler = ContrastiveSampler(seed=0)
+        table = np.array([2.0, 0.0, 3.0])
+        for _ in range(20):
+            varied = sampler.relation_variation(table)
+            assert set(np.flatnonzero(varied > 0)) == {0, 2}
+
+    def test_addition_extends_support(self):
+        sampler = ContrastiveSampler(seed=0)
+        table = np.array([2.0, 0.0, 3.0])
+        added = sampler.relation_addition(table)
+        assert np.count_nonzero(added) == 3
+
+    def test_deletion_shrinks_support(self):
+        sampler = ContrastiveSampler(seed=0)
+        table = np.array([2.0, 0.0, 3.0])
+        deleted = sampler.relation_deletion(table)
+        assert np.count_nonzero(deleted) == 1
+
+    def test_operations_do_not_mutate_input(self):
+        sampler = ContrastiveSampler(seed=0)
+        table = np.array([2.0, 0.0, 3.0])
+        original = table.copy()
+        sampler.relation_variation(table)
+        sampler.relation_addition(table)
+        sampler.relation_deletion(table)
+        np.testing.assert_array_equal(table, original)
+
+    def test_empty_table_is_noop(self):
+        sampler = ContrastiveSampler(seed=0)
+        table = np.zeros(3)
+        np.testing.assert_array_equal(sampler.relation_variation(table), table)
+        np.testing.assert_array_equal(sampler.relation_deletion(table), table)
+
+    def test_full_table_addition_is_noop(self):
+        sampler = ContrastiveSampler(seed=0)
+        table = np.ones(3)
+        np.testing.assert_array_equal(sampler.relation_addition(table), table)
+
+    def test_positive_example_preserves_semantics(self):
+        # Positive examples never change which relations are present.
+        sampler = ContrastiveSampler(seed=1)
+        table = np.array([1.0, 0.0, 4.0, 2.0])
+        for _ in range(10):
+            positive = sampler.positive_example(table)
+            assert set(np.flatnonzero(positive > 0)) == set(np.flatnonzero(table > 0))
+
+    def test_negative_example_changes_support(self):
+        sampler = ContrastiveSampler(seed=1)
+        table = np.array([1.0, 0.0, 4.0, 2.0])
+        changed = 0
+        for _ in range(10):
+            negative = sampler.negative_example(table)
+            if set(np.flatnonzero(negative > 0)) != set(np.flatnonzero(table > 0)):
+                changed += 1
+        assert changed >= 8
+
+    def test_sample_pairs_count(self):
+        sampler = ContrastiveSampler(seed=0)
+        pairs = sampler.sample_pairs(np.array([1.0, 2.0, 0.0]), num_pairs=4)
+        assert len(pairs) == 4
+
+    def test_scaling_factor_validation(self):
+        with pytest.raises(ValueError):
+            ContrastiveSampler(scaling_factor=0)
+
+    def test_variation_bound_respects_theta(self):
+        sampler = ContrastiveSampler(scaling_factor=3.0, seed=0)
+        table = np.array([4.0, 4.0])
+        for _ in range(30):
+            varied = sampler.relation_variation(table)
+            assert varied.max() <= 4.0 * 3.0
+
+
+class TestContrastiveLoss:
+    def test_loss_is_nonnegative_scalar(self):
+        clrm = CLRM(4, 8, rng=np.random.default_rng(0))
+        sampler = ContrastiveSampler(seed=0)
+        anchor = np.array([2.0, 0.0, 1.0, 0.0])
+        loss = contrastive_loss(clrm, anchor, sampler.positive_example(anchor),
+                                sampler.negative_example(anchor))
+        assert loss.data.size == 1
+        assert float(loss.data) >= 0.0
+
+    def test_identical_positive_and_negative_hits_margin(self):
+        clrm = CLRM(3, 4, rng=np.random.default_rng(0))
+        table = np.array([1.0, 1.0, 0.0])
+        loss = contrastive_loss(clrm, table, table, table, margin=0.7)
+        assert float(loss.data) == pytest.approx(0.7)
+
+    def test_batch_matches_mean_of_singles(self):
+        clrm = CLRM(4, 8, rng=np.random.default_rng(3))
+        anchors = np.array([[1.0, 0, 2, 0], [0, 1, 0, 3]])
+        positives = anchors * 2
+        negatives = np.array([[0.0, 5, 0, 0], [4, 0, 0, 0]])
+        batch = batch_contrastive_loss(clrm, anchors, positives, negatives, margin=1.0)
+        singles = [
+            float(contrastive_loss(clrm, anchors[i], positives[i], negatives[i], margin=1.0).data)
+            for i in range(2)
+        ]
+        assert float(batch.data) == pytest.approx(np.mean(singles))
+
+    def test_gradient_reaches_relation_features(self):
+        clrm = CLRM(4, 8, rng=np.random.default_rng(0))
+        anchors = np.array([[1.0, 0, 2, 0]])
+        negatives = np.array([[0.0, 5, 0, 0]])
+        loss = batch_contrastive_loss(clrm, anchors, anchors * 3, negatives, margin=2.0)
+        loss.backward()
+        assert clrm.relation_features.grad is not None
+        assert np.any(clrm.relation_features.grad != 0)
+
+    def test_training_reduces_contrastive_loss(self):
+        # A few Adam steps on the contrastive loss alone must reduce it.
+        from repro.autodiff.optim import Adam
+
+        rng = np.random.default_rng(0)
+        clrm = CLRM(6, 16, rng=rng)
+        sampler = ContrastiveSampler(seed=0)
+        anchors = rng.integers(0, 4, size=(8, 6)).astype(float)
+        positives = np.stack([sampler.positive_example(a) for a in anchors])
+        negatives = np.stack([sampler.negative_example(a) for a in anchors])
+        optimizer = Adam(clrm.parameters(), lr=0.05)
+        initial = float(batch_contrastive_loss(clrm, anchors, positives, negatives).data)
+        for _ in range(30):
+            optimizer.zero_grad()
+            loss = batch_contrastive_loss(clrm, anchors, positives, negatives)
+            loss.backward()
+            optimizer.step()
+        final = float(batch_contrastive_loss(clrm, anchors, positives, negatives).data)
+        assert final < initial

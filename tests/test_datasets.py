@@ -1,0 +1,130 @@
+"""Tests for the synthetic generator and the EQ/MB/ME benchmark builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.benchmark import (
+    BENCHMARK_PROFILES,
+    SPLIT_RATIOS,
+    build_benchmark,
+    dataset_names,
+    split_names,
+)
+from repro.datasets.synthetic import SyntheticKGConfig, generate_synthetic_kg
+
+
+class TestSyntheticGenerator:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticKGConfig(num_entities=3, num_types=10)
+        with pytest.raises(ValueError):
+            SyntheticKGConfig(num_relations=1)
+        with pytest.raises(ValueError):
+            SyntheticKGConfig(compositional_fraction=1.5)
+
+    def test_deterministic_per_seed(self):
+        config = SyntheticKGConfig(num_entities=60, num_relations=6, num_types=4,
+                                   num_triples=200, seed=5)
+        a = generate_synthetic_kg(config)
+        b = generate_synthetic_kg(config)
+        assert a.triple_array().tolist() == b.triple_array().tolist()
+
+    def test_different_seed_differs(self):
+        base = dict(num_entities=60, num_relations=6, num_types=4, num_triples=200)
+        a = generate_synthetic_kg(SyntheticKGConfig(seed=1, **base))
+        b = generate_synthetic_kg(SyntheticKGConfig(seed=2, **base))
+        assert a.triple_array().tolist() != b.triple_array().tolist()
+
+    def test_size_close_to_requested(self, small_synthetic_graph):
+        assert small_synthetic_graph.num_triples() >= 0.6 * 500
+        assert small_synthetic_graph.num_entities == 120
+
+    def test_no_self_loops(self, small_synthetic_graph):
+        assert all(t.head != t.tail for t in small_synthetic_graph.triples)
+
+    def test_all_ids_in_range(self, small_synthetic_graph):
+        array = small_synthetic_graph.triple_array()
+        assert array[:, [0, 2]].max() < small_synthetic_graph.num_entities
+        assert array[:, 1].max() < small_synthetic_graph.num_relations
+
+    def test_most_relations_used(self, small_synthetic_graph):
+        used = set(small_synthetic_graph.relations())
+        assert len(used) >= small_synthetic_graph.num_relations * 0.7
+
+    def test_vocabulary_attached(self, small_synthetic_graph):
+        vocab = small_synthetic_graph.vocabulary
+        assert vocab is not None
+        assert vocab.num_entities == small_synthetic_graph.num_entities
+
+    def test_degree_distribution_is_skewed(self, small_synthetic_graph):
+        degrees = np.array([small_synthetic_graph.degree(e)
+                            for e in small_synthetic_graph.entities()])
+        assert degrees.max() > 2 * np.median(degrees)
+
+
+class TestBenchmarkBuilder:
+    def test_names(self):
+        assert set(dataset_names()) == {"fb15k-237", "nell-995", "wn18rr"}
+        assert set(split_names()) == {"EQ", "MB", "ME"}
+        assert SPLIT_RATIOS["MB"] == (1, 2)
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(KeyError):
+            build_benchmark("freebase", "EQ")
+        with pytest.raises(KeyError):
+            build_benchmark("fb15k-237", "XX")
+
+    def test_relation_ordering_matches_paper(self):
+        # FB15k-237 has the most relations, WN18RR the fewest (Table II).
+        assert (BENCHMARK_PROFILES["fb15k-237"].num_relations
+                > BENCHMARK_PROFILES["nell-995"].num_relations
+                > BENCHMARK_PROFILES["wn18rr"].num_relations)
+
+    def test_benchmark_structure(self, small_benchmark):
+        dataset = small_benchmark
+        assert dataset.name == "fb15k-237"
+        assert dataset.split_name == "EQ"
+        assert dataset.train_graph.num_triples() > 0
+        assert dataset.emerging_graph.num_triples() > 0
+        assert len(dataset.test_triples) > 0
+
+    def test_test_links_split_by_type(self, small_benchmark):
+        enclosing = small_benchmark.enclosing_test()
+        bridging = small_benchmark.bridging_test()
+        assert len(enclosing) + len(bridging) == len(small_benchmark.test_triples)
+        assert enclosing and bridging
+
+    def test_eq_ratio_roughly_balanced(self, small_benchmark):
+        enclosing = len(small_benchmark.enclosing_test())
+        bridging = len(small_benchmark.bridging_test())
+        assert abs(enclosing - bridging) <= 2
+
+    def test_mb_has_more_bridging(self):
+        dataset = build_benchmark("fb15k-237", "MB", seed=1, scale=0.25)
+        assert len(dataset.bridging_test()) > len(dataset.enclosing_test())
+
+    def test_me_has_more_enclosing(self):
+        dataset = build_benchmark("fb15k-237", "ME", seed=1, scale=0.25)
+        assert len(dataset.enclosing_test()) > len(dataset.bridging_test())
+
+    def test_statistics_table(self, small_benchmark):
+        stats = small_benchmark.statistics()
+        assert set(stats) == {"G", "G'"}
+        assert stats["G"].num_triples > stats["G'"].num_triples
+
+    def test_scale_parameter_shrinks_dataset(self):
+        small = build_benchmark("wn18rr", "EQ", seed=0, scale=0.2)
+        large = build_benchmark("wn18rr", "EQ", seed=0, scale=0.5)
+        assert small.train_graph.num_triples() < large.train_graph.num_triples()
+
+    def test_train_graph_shared_across_splits(self):
+        eq = build_benchmark("nell-995", "EQ", seed=2, scale=0.25)
+        mb = build_benchmark("nell-995", "MB", seed=2, scale=0.25)
+        assert eq.train_graph.triple_array().tolist() == mb.train_graph.triple_array().tolist()
+
+    def test_deterministic(self):
+        a = build_benchmark("fb15k-237", "EQ", seed=3, scale=0.25)
+        b = build_benchmark("fb15k-237", "EQ", seed=3, scale=0.25)
+        assert [t.astuple() for t in a.test_triples] == [t.astuple() for t in b.test_triples]

@@ -1,0 +1,249 @@
+"""Tests for metrics, ranking, evaluator, complexity and case-study utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.case_study import CaseStudyResult, embedding_heatmap, render_heatmap_ascii
+from repro.eval.complexity import ComplexityReport, complexity_table, measure_complexity, parameter_formula
+from repro.eval.evaluator import Evaluator
+from repro.eval.metrics import RankingMetrics, hits_at, mean_reciprocal_rank
+from repro.eval.ranking import filtered_candidates, rank_candidates
+from repro.eval.reporting import format_table, markdown_table, results_to_rows
+from repro.kg.triple import Triple
+
+
+class TestMetrics:
+    def test_mrr_simple(self):
+        assert mean_reciprocal_rank([1, 2, 4]) == pytest.approx((1 + 0.5 + 0.25) / 3)
+
+    def test_mrr_empty(self):
+        assert mean_reciprocal_rank([]) == 0.0
+
+    def test_mrr_rejects_invalid_ranks(self):
+        with pytest.raises(ValueError):
+            mean_reciprocal_rank([0])
+
+    def test_hits_at(self):
+        assert hits_at([1, 3, 11], 10) == pytest.approx(2 / 3)
+        assert hits_at([1, 3, 11], 1) == pytest.approx(1 / 3)
+
+    def test_hits_validation(self):
+        with pytest.raises(ValueError):
+            hits_at([1], 0)
+
+    def test_accumulator(self):
+        metrics = RankingMetrics()
+        metrics.extend([1, 2, 10])
+        assert len(metrics) == 3
+        summary = metrics.summary()
+        assert summary["MRR"] == pytest.approx(mean_reciprocal_rank([1, 2, 10]))
+        assert summary["Hits@10"] == 1.0
+        assert summary["Hits@1"] == pytest.approx(1 / 3)
+
+    def test_accumulator_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            RankingMetrics().add(0)
+
+    def test_merge(self):
+        a = RankingMetrics()
+        a.extend([1, 2])
+        b = RankingMetrics()
+        b.extend([3])
+        merged = a.merge(b)
+        assert len(merged) == 3
+        assert len(a) == 2
+
+
+class TestRanking:
+    def test_rank_is_one_when_best(self):
+        assert rank_candidates(10.0, [1.0, 2.0, 3.0]) == 1
+
+    def test_rank_counts_higher_scores(self):
+        assert rank_candidates(1.0, [2.0, 3.0, 0.5]) == 3
+
+    def test_rank_with_no_candidates(self):
+        assert rank_candidates(1.0, []) == 1
+
+    def test_ties_are_penalized(self):
+        assert rank_candidates(1.0, [1.0, 1.0, 1.0, 0.0]) > 1
+
+    def test_filtered_candidates_exclude_known_facts(self):
+        triple = Triple(0, 0, 1)
+        known = {(2, 0, 1)}
+        candidates = filtered_candidates(triple, "head", entity_candidates=[0, 1, 2, 3],
+                                         relation_candidates=[0], known_facts=known)
+        heads = {c.head for c in candidates}
+        assert 2 not in heads          # filtered (known fact)
+        assert 0 not in heads          # never corrupt into the true triple
+        assert heads == {1, 3}
+
+    def test_filtered_candidates_tail_and_relation_forms(self):
+        triple = Triple(0, 1, 2)
+        tails = filtered_candidates(triple, "tail", [0, 1, 2, 3], [0, 1, 2], set())
+        assert all(c.head == 0 and c.relation == 1 for c in tails)
+        relations = filtered_candidates(triple, "relation", [0, 1], [0, 1, 2], set())
+        assert {c.relation for c in relations} == {0, 2}
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(ValueError):
+            filtered_candidates(Triple(0, 0, 1), "nope", [0], [0], set())
+
+    def test_max_candidates_subsampling(self):
+        triple = Triple(0, 0, 1)
+        candidates = filtered_candidates(triple, "head", list(range(100)), [0], set(),
+                                         max_candidates=10, rng=np.random.default_rng(0))
+        assert len(candidates) == 10
+
+
+class ConstantModel:
+    """Scores every triple identically (worst case for ranking)."""
+
+    name = "Constant"
+
+    def set_context(self, graph):
+        self.graph = graph
+
+    def score_many(self, triples):
+        return np.zeros(len(triples))
+
+    def num_parameters(self):
+        return 0
+
+
+class OracleModel:
+    """Scores known test triples above everything else."""
+
+    name = "Oracle"
+
+    def __init__(self, truth):
+        self.truth = {t.astuple() for t in truth}
+
+    def set_context(self, graph):
+        pass
+
+    def score_many(self, triples):
+        return np.array([1.0 if t.astuple() in self.truth else 0.0 for t in triples])
+
+    def num_parameters(self):
+        return 0
+
+
+class TestEvaluator:
+    def test_oracle_gets_perfect_scores(self, small_benchmark):
+        evaluator = Evaluator(small_benchmark, max_candidates=20, seed=0)
+        result = evaluator.evaluate(OracleModel(small_benchmark.test_triples))
+        assert result.metric("MRR") == pytest.approx(1.0)
+        assert result.metric("Hits@1") == pytest.approx(1.0)
+
+    def test_constant_model_is_poor(self, small_benchmark):
+        evaluator = Evaluator(small_benchmark, max_candidates=20, seed=0)
+        result = evaluator.evaluate(ConstantModel())
+        assert result.metric("MRR") < 0.5
+
+    def test_scopes_partition_overall(self, small_benchmark):
+        evaluator = Evaluator(small_benchmark, max_candidates=10, seed=0)
+        result = evaluator.evaluate(ConstantModel())
+        assert len(result.overall.ranks) == (
+            len(result.enclosing.ranks) + len(result.bridging.ranks)
+        )
+
+    def test_relation_form_supported(self, small_benchmark):
+        evaluator = Evaluator(small_benchmark, forms=("relation",), max_candidates=None, seed=0)
+        result = evaluator.evaluate(OracleModel(small_benchmark.test_triples))
+        assert result.metric("MRR") == pytest.approx(1.0)
+
+    def test_model_name_defaults_to_attribute(self, small_benchmark):
+        evaluator = Evaluator(small_benchmark, max_candidates=5, seed=0)
+        result = evaluator.evaluate(ConstantModel())
+        assert result.model_name == "Constant"
+
+    def test_evaluate_many(self, small_benchmark):
+        evaluator = Evaluator(small_benchmark, max_candidates=5, seed=0)
+        results = evaluator.evaluate_many({"a": ConstantModel(), "b": ConstantModel()})
+        assert [r.model_name for r in results] == ["a", "b"]
+
+    def test_summary_structure(self, small_benchmark):
+        evaluator = Evaluator(small_benchmark, max_candidates=5, seed=0)
+        summary = evaluator.evaluate(ConstantModel()).summary()
+        assert set(summary) == {"overall", "enclosing", "bridging"}
+        assert set(summary["overall"]) == {"MRR", "Hits@1", "Hits@5", "Hits@10"}
+
+
+class TestComplexity:
+    def test_parameter_formula_ordering(self):
+        num_entities, num_relations = 3668, 215    # FB15k-237 ME scale (Table II)
+        entity_models = [parameter_formula(m, num_entities, num_relations) for m in
+                         ("TransE", "RotatE", "ConvE", "GEN")]
+        relation_only_models = [parameter_formula(m, num_entities, num_relations) for m in
+                                ("Grail", "DEKG-ILP")]
+        # Entity-identity methods scale with |E| and dominate the relation-only methods.
+        assert min(entity_models) > max(relation_only_models)
+
+    def test_dekg_ilp_between_grail_and_tact(self):
+        grail = parameter_formula("Grail", 1000, 50)
+        dekg = parameter_formula("DEKG-ILP", 1000, 50)
+        tact = parameter_formula("TACT", 1000, 50)
+        assert grail < dekg < tact
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            parameter_formula("Unknown", 10, 10)
+
+    def test_measure_complexity(self, small_benchmark):
+        model = ConstantModel()
+        links = small_benchmark.test_triples[:5]
+        report = measure_complexity(model, links, context=small_benchmark.train_graph)
+        assert report.links_scored == 5
+        assert report.inference_seconds >= 0
+        assert report.milliseconds_per_link >= 0
+
+    def test_complexity_table(self):
+        reports = [ComplexityReport("A", 10, 0.5, 50), ComplexityReport("B", 20, 1.0, 50)]
+        table = complexity_table(reports)
+        assert table["A"]["parameters"] == 10
+        assert table["B"]["ms_per_link"] == pytest.approx(20.0)
+
+
+class TestCaseStudy:
+    def test_heatmap_shape_and_content(self):
+        head = np.arange(32.0)
+        tail = np.arange(32.0, 64.0)
+        heatmap = embedding_heatmap(head, tail, side=8)
+        assert heatmap.shape == (8, 8)
+        np.testing.assert_array_equal(heatmap.reshape(-1), np.arange(64.0))
+
+    def test_heatmap_pads_short_embeddings(self):
+        heatmap = embedding_heatmap(np.ones(3), np.ones(3), side=4)
+        assert heatmap.shape == (4, 4)
+        assert heatmap.reshape(-1)[6:].sum() == 0
+
+    def test_activity_and_magnitude(self):
+        semantic = np.ones((8, 8))
+        topological = np.zeros((8, 8))
+        result = CaseStudyResult(Triple(0, 0, 1), semantic, topological)
+        activity = result.activity()
+        assert activity["semantic"] == 1.0
+        assert activity["topological"] == 0.0
+        assert result.mean_magnitude()["semantic"] == 1.0
+
+    def test_ascii_rendering(self):
+        art = render_heatmap_ascii(np.eye(4))
+        assert len(art.splitlines()) == 4
+
+
+class TestReporting:
+    def test_results_to_rows_and_tables(self, small_benchmark):
+        evaluator = Evaluator(small_benchmark, max_candidates=5, seed=0)
+        results = [evaluator.evaluate(ConstantModel())]
+        rows = results_to_rows(results)
+        assert rows[0]["model"] == "Constant"
+        text = format_table(rows)
+        assert "Constant" in text and "MRR" in text
+        markdown = markdown_table(rows)
+        assert markdown.startswith("| model")
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+        assert markdown_table([]) == "(no rows)"

@@ -1,0 +1,153 @@
+"""Tests for the relational GNN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor
+from repro.gnn.encoder import SubgraphEncoder
+from repro.gnn.message_passing import aggregate_messages, degree_normalization
+from repro.gnn.pooling import max_pool_nodes, mean_pool_nodes, sum_pool_nodes
+from repro.gnn.rgcn import RGCNLayer
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triple import Triple
+from repro.subgraph.extraction import extract_enclosing_subgraph
+
+
+class TestMessagePassing:
+    def test_aggregate_sums_messages(self):
+        messages = Tensor(np.array([[1.0, 0.0], [2.0, 0.0], [0.0, 3.0]]))
+        destinations = np.array([0, 0, 1])
+        out = aggregate_messages(messages, destinations, num_nodes=3)
+        np.testing.assert_array_equal(out.data, [[3.0, 0.0], [0.0, 3.0], [0.0, 0.0]])
+
+    def test_aggregate_with_weights(self):
+        messages = Tensor(np.array([[2.0], [4.0]]))
+        weights = Tensor(np.array([[0.5], [0.25]]))
+        out = aggregate_messages(messages, np.array([0, 0]), num_nodes=1, weights=weights)
+        assert out.data[0, 0] == pytest.approx(2.0)
+
+    def test_aggregate_gradient_flows(self):
+        messages = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = aggregate_messages(messages, np.array([0, 1, 1]), num_nodes=2)
+        out.sum().backward()
+        np.testing.assert_array_equal(messages.grad, np.ones((3, 2)))
+
+    def test_degree_normalization(self):
+        norm = degree_normalization(np.array([0, 0, 1]), num_nodes=3)
+        np.testing.assert_allclose(norm.reshape(-1), [0.5, 0.5, 1.0])
+
+    def test_degree_normalization_handles_zero_degree(self):
+        norm = degree_normalization(np.array([2]), num_nodes=4)
+        assert np.isfinite(norm).all()
+
+
+class TestPooling:
+    def test_mean_pool(self):
+        x = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        np.testing.assert_array_equal(mean_pool_nodes(x).data, [2.0, 3.0])
+
+    def test_sum_pool(self):
+        x = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        np.testing.assert_array_equal(sum_pool_nodes(x).data, [4.0, 6.0])
+
+    def test_max_pool(self):
+        x = Tensor(np.array([[1.0, 5.0], [3.0, 4.0]]))
+        np.testing.assert_array_equal(max_pool_nodes(x).data, [3.0, 5.0])
+
+
+@pytest.fixture
+def toy_subgraph(tiny_graph):
+    return extract_enclosing_subgraph(tiny_graph, Triple(0, 0, 2), hops=2)
+
+
+class TestRGCNLayer:
+    def test_output_shape(self, toy_subgraph):
+        layer = RGCNLayer(in_dim=6, out_dim=8, num_relations=3, rng=np.random.default_rng(0))
+        out = layer(Tensor(toy_subgraph.node_features), toy_subgraph.edges)
+        assert out.shape == (toy_subgraph.num_nodes, 8)
+
+    def test_no_edges_still_works(self):
+        layer = RGCNLayer(in_dim=4, out_dim=4, num_relations=2, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((3, 4))), np.zeros((0, 3), dtype=np.int64))
+        assert out.shape == (3, 4)
+
+    def test_output_nonnegative_after_relu(self, toy_subgraph):
+        layer = RGCNLayer(in_dim=6, out_dim=5, num_relations=3, rng=np.random.default_rng(0))
+        out = layer(Tensor(toy_subgraph.node_features), toy_subgraph.edges)
+        assert np.all(out.data >= 0)
+
+    def test_gradients_reach_basis(self, toy_subgraph):
+        layer = RGCNLayer(in_dim=6, out_dim=4, num_relations=3, rng=np.random.default_rng(0))
+        out = layer(Tensor(toy_subgraph.node_features), toy_subgraph.edges)
+        out.sum().backward()
+        assert layer.basis.grad is not None
+        assert layer.self_weight.grad is not None
+
+    def test_attention_toggle_changes_parameter_count(self):
+        with_attention = RGCNLayer(4, 4, 3, use_attention=True)
+        without_attention = RGCNLayer(4, 4, 3, use_attention=False)
+        assert with_attention.num_parameters() > without_attention.num_parameters()
+
+    def test_num_bases_capped_at_relations(self):
+        layer = RGCNLayer(4, 4, num_relations=2, num_bases=10)
+        assert layer.num_bases == 2
+
+    def test_invalid_bases(self):
+        with pytest.raises(ValueError):
+            RGCNLayer(4, 4, 3, num_bases=0)
+
+    def test_messages_propagate_information(self):
+        # Two nodes, an edge 0 -> 1: node 1's output must depend on node 0's input.
+        graph_edges = np.array([[0, 0, 1]], dtype=np.int64)
+        layer = RGCNLayer(2, 2, 1, use_attention=False, rng=np.random.default_rng(0))
+        base = layer(Tensor(np.array([[1.0, 0.0], [0.0, 0.0]])), graph_edges).data[1]
+        changed = layer(Tensor(np.array([[5.0, 0.0], [0.0, 0.0]])), graph_edges).data[1]
+        assert not np.allclose(base, changed)
+
+
+class TestSubgraphEncoder:
+    def test_encode_shapes(self, toy_subgraph):
+        encoder = SubgraphEncoder(input_dim=6, hidden_dim=8, num_relations=3,
+                                  rng=np.random.default_rng(0))
+        graph_vec, head_vec, tail_vec = encoder.encode(toy_subgraph)
+        assert graph_vec.shape == (8,)
+        assert head_vec.shape == (8,)
+        assert tail_vec.shape == (8,)
+
+    def test_layer_count_validation(self):
+        with pytest.raises(ValueError):
+            SubgraphEncoder(4, 4, 2, num_layers=0)
+
+    def test_forward_matrix_shape(self, toy_subgraph):
+        encoder = SubgraphEncoder(input_dim=6, hidden_dim=5, num_relations=3,
+                                  num_layers=3, rng=np.random.default_rng(0))
+        out = encoder(toy_subgraph)
+        assert out.shape == (toy_subgraph.num_nodes, 5)
+
+    def test_gradients_flow_through_encoder(self, toy_subgraph):
+        encoder = SubgraphEncoder(input_dim=6, hidden_dim=4, num_relations=3,
+                                  rng=np.random.default_rng(0))
+        graph_vec, _, _ = encoder.encode(toy_subgraph)
+        graph_vec.sum().backward()
+        assert encoder.input_projection.weight.grad is not None
+
+    def test_dropout_only_in_training(self, toy_subgraph):
+        encoder = SubgraphEncoder(input_dim=6, hidden_dim=4, num_relations=3,
+                                  dropout=0.9, rng=np.random.default_rng(0))
+        encoder.eval()
+        a = encoder(toy_subgraph).data
+        b = encoder(toy_subgraph).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_disconnected_subgraph_encodes(self):
+        graph = KnowledgeGraph(6, 2, [Triple(0, 0, 1), Triple(3, 1, 4)])
+        subgraph = extract_enclosing_subgraph(graph, Triple(1, 0, 3), hops=2)
+        assert subgraph.is_disconnected()
+        encoder = SubgraphEncoder(input_dim=6, hidden_dim=4, num_relations=2,
+                                  rng=np.random.default_rng(0))
+        graph_vec, head_vec, tail_vec = encoder.encode(subgraph)
+        assert np.isfinite(graph_vec.data).all()
+        assert np.isfinite(head_vec.data).all()
+        assert np.isfinite(tail_vec.data).all()

@@ -1,0 +1,119 @@
+"""Integration tests: end-to-end training + evaluation across modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DEKGILP,
+    Evaluator,
+    ModelConfig,
+    Trainer,
+    TrainingConfig,
+    available_models,
+    build_benchmark,
+    train_model,
+)
+from repro.eval.case_study import case_study
+from repro.eval.complexity import measure_complexity
+from repro.eval.reporting import format_table, results_to_rows
+
+
+@pytest.fixture(scope="module")
+def trained_dekg_ilp(request):
+    dataset = build_benchmark("fb15k-237", "EQ", seed=1, scale=0.25)
+    config = ModelConfig(embedding_dim=16, gnn_hidden_dim=16, edge_dropout=0.0)
+    training = TrainingConfig(epochs=2, batch_size=16, contrastive_examples=1, seed=0)
+    model = DEKGILP(dataset.num_relations, config=config, seed=0)
+    Trainer(model, dataset.train_graph, training).fit()
+    return dataset, model
+
+
+class TestEndToEnd:
+    def test_training_and_evaluation(self, trained_dekg_ilp):
+        dataset, model = trained_dekg_ilp
+        evaluator = Evaluator(dataset, max_candidates=20, seed=0)
+        result = evaluator.evaluate(model, model_name="DEKG-ILP")
+        summary = result.summary()
+        for scope in ("overall", "enclosing", "bridging"):
+            assert 0.0 <= summary[scope]["MRR"] <= 1.0
+            assert summary[scope]["Hits@1"] <= summary[scope]["Hits@10"]
+
+    def test_model_beats_random_scoring(self, trained_dekg_ilp):
+        dataset, model = trained_dekg_ilp
+
+        class RandomModel:
+            name = "Random"
+
+            def set_context(self, graph):
+                self._rng = np.random.default_rng(0)
+
+            def score_many(self, triples):
+                return self._rng.random(len(triples))
+
+            def num_parameters(self):
+                return 0
+
+        evaluator = Evaluator(dataset, max_candidates=20, seed=0)
+        trained = evaluator.evaluate(model).metric("MRR")
+        random_result = evaluator.evaluate(RandomModel()).metric("MRR")
+        assert trained > random_result
+
+    def test_case_study_pipeline(self, trained_dekg_ilp):
+        dataset, model = trained_dekg_ilp
+        evaluator = Evaluator(dataset, max_candidates=5, seed=0)
+        model.set_context(evaluator.context_graph)
+        bridging = dataset.bridging_test()[0]
+        enclosing = dataset.enclosing_test()[0]
+        bridging_case = case_study(model, bridging)
+        enclosing_case = case_study(model, enclosing)
+        assert bridging_case.semantic_map.shape == (8, 8)
+        assert enclosing_case.topological_map.shape == (8, 8)
+        # Semantic signal exists for bridging links even when topology is disconnected.
+        assert bridging_case.mean_magnitude()["semantic"] > 0
+
+    def test_complexity_measurement(self, trained_dekg_ilp):
+        dataset, model = trained_dekg_ilp
+        report = measure_complexity(model, dataset.test_triples[:5],
+                                    context=dataset.split.evaluation_graph())
+        assert report.num_parameters == model.num_parameters()
+        assert report.links_scored == 5
+
+    def test_reporting_pipeline(self, trained_dekg_ilp):
+        dataset, model = trained_dekg_ilp
+        evaluator = Evaluator(dataset, max_candidates=5, seed=0)
+        rows = results_to_rows([evaluator.evaluate(model, model_name="DEKG-ILP")])
+        table = format_table(rows)
+        assert "DEKG-ILP" in table
+
+
+class TestTrainModelHelper:
+    def test_available_models_cover_paper(self):
+        models = available_models()
+        for expected in ("DEKG-ILP", "DEKG-ILP-R", "DEKG-ILP-C", "DEKG-ILP-N",
+                         "TransE", "RotatE", "ConvE", "GEN", "RuleN", "Grail", "TACT"):
+            assert expected in models
+
+    def test_unknown_model_rejected(self, small_benchmark):
+        with pytest.raises(KeyError):
+            train_model("NotAModel", small_benchmark)
+
+    def test_train_baseline_and_evaluate(self, small_benchmark):
+        model = train_model("TransE", small_benchmark, epochs=1, embedding_dim=8, seed=0)
+        result = Evaluator(small_benchmark, max_candidates=10, seed=0).evaluate(model)
+        assert 0.0 <= result.metric("MRR") <= 1.0
+
+    def test_train_ablation_variant(self, small_benchmark):
+        model = train_model("DEKG-ILP-R", small_benchmark, epochs=1, embedding_dim=8, seed=0)
+        assert model.clrm is None
+        result = Evaluator(small_benchmark, max_candidates=10, seed=0).evaluate(model)
+        assert 0.0 <= result.metric("MRR") <= 1.0
+
+    def test_ablation_c_disables_contrastive_weight(self, small_benchmark):
+        model = train_model("DEKG-ILP-C", small_benchmark, epochs=1, embedding_dim=8, seed=0)
+        assert model.clrm is not None   # CLRM present, only the contrastive loss is off
+
+    def test_ablation_n_uses_grail_labeling(self, small_benchmark):
+        model = train_model("DEKG-ILP-N", small_benchmark, epochs=1, embedding_dim=8, seed=0)
+        assert model.gsm.improved_labeling is False

@@ -1,0 +1,201 @@
+"""Tests for the KG substrate: Triple, Vocabulary, KnowledgeGraph, stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.stats import compute_statistics
+from repro.kg.triple import Triple
+from repro.kg.vocabulary import Vocabulary
+
+
+class TestTriple:
+    def test_fields_and_tuple(self):
+        triple = Triple(1, 2, 3)
+        assert (triple.head, triple.relation, triple.tail) == (1, 2, 3)
+        assert triple.astuple() == (1, 2, 3)
+
+    def test_reversed(self):
+        assert Triple(1, 2, 3).reversed() == Triple(3, 2, 1)
+
+    def test_hashable_and_frozen(self):
+        assert len({Triple(1, 2, 3), Triple(1, 2, 3)}) == 1
+        with pytest.raises(AttributeError):
+            Triple(1, 2, 3).head = 5
+
+    def test_iterable(self):
+        assert list(Triple(1, 2, 3)) == [1, 2, 3]
+
+    def test_ordering(self):
+        assert Triple(0, 0, 1) < Triple(0, 1, 0)
+
+
+class TestVocabulary:
+    def test_add_and_lookup(self):
+        vocab = Vocabulary()
+        eid = vocab.add_entity("alice")
+        rid = vocab.add_relation("knows")
+        assert vocab.entity_id("alice") == eid
+        assert vocab.relation_id("knows") == rid
+        assert vocab.entity_name(eid) == "alice"
+        assert vocab.relation_name(rid) == "knows"
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        assert vocab.add_entity("x") == vocab.add_entity("x")
+        assert vocab.num_entities == 1
+
+    def test_bulk_add(self):
+        vocab = Vocabulary()
+        ids = vocab.add_entities(["a", "b", "c"])
+        assert ids == [0, 1, 2]
+        assert vocab.entities() == ["a", "b", "c"]
+
+    def test_has_checks(self):
+        vocab = Vocabulary()
+        vocab.add_entity("a")
+        assert vocab.has_entity("a") and not vocab.has_entity("b")
+        assert not vocab.has_relation("r")
+
+    def test_copy_is_independent(self):
+        vocab = Vocabulary()
+        vocab.add_entity("a")
+        clone = vocab.copy()
+        clone.add_entity("b")
+        assert vocab.num_entities == 1
+        assert clone.num_entities == 2
+
+    def test_from_names_extends_existing(self):
+        base = Vocabulary()
+        base.add_entity("a")
+        extended = Vocabulary.from_names(["b"], ["r"], existing=base)
+        assert extended.entity_id("a") == 0
+        assert extended.entity_id("b") == 1
+        assert base.num_entities == 1
+
+    def test_namespaces_are_separate(self):
+        vocab = Vocabulary()
+        vocab.add_entity("same-name")
+        vocab.add_relation("same-name")
+        assert vocab.num_entities == 1 and vocab.num_relations == 1
+
+
+class TestKnowledgeGraph:
+    def test_basic_counts(self, tiny_graph):
+        assert tiny_graph.num_triples() == 6
+        assert len(tiny_graph) == 6
+        assert tiny_graph.num_entities == 6
+        assert tiny_graph.num_relations == 3
+
+    def test_contains(self, tiny_graph):
+        assert Triple(0, 0, 1) in tiny_graph
+        assert tiny_graph.contains(0, 0, 1)
+        assert not tiny_graph.contains(1, 0, 0)
+
+    def test_duplicate_triples_ignored(self, tiny_graph):
+        before = tiny_graph.num_triples()
+        assert tiny_graph.add_triple(Triple(0, 0, 1)) is False
+        assert tiny_graph.num_triples() == before
+
+    def test_out_of_range_rejected(self):
+        graph = KnowledgeGraph(2, 1)
+        with pytest.raises(ValueError):
+            graph.add_triple(Triple(0, 0, 5))
+        with pytest.raises(ValueError):
+            graph.add_triple(Triple(0, 3, 1))
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph(-1, 2)
+
+    def test_adjacency_queries(self, tiny_graph):
+        assert {t.tail for t in tiny_graph.triples_from(0)} == {1, 2}
+        assert {t.head for t in tiny_graph.triples_to(2)} == {1, 0}
+        assert len(tiny_graph.triples_of(2)) == 3
+
+    def test_neighbors_are_undirected(self, tiny_graph):
+        assert tiny_graph.neighbors(2) == {0, 1, 3}
+        assert 2 in tiny_graph.neighbors(3)
+
+    def test_degree(self, tiny_graph):
+        assert tiny_graph.degree(0) == 2
+        assert tiny_graph.degree(5) == 1
+
+    def test_entities_and_relations_present(self, tiny_graph):
+        assert tiny_graph.entities() == [0, 1, 2, 3, 4, 5]
+        assert tiny_graph.relations() == [0, 1, 2]
+
+    def test_relation_component_table(self, tiny_graph):
+        # entity 0: head of r0 once, head of r2 once
+        np.testing.assert_array_equal(tiny_graph.relation_component_table(0), [1, 0, 1])
+        # entity 2: tail of r1, tail of r2, head of r0
+        np.testing.assert_array_equal(tiny_graph.relation_component_table(2), [1, 1, 1])
+        # isolated-ish entity 5: tail of r1 only
+        np.testing.assert_array_equal(tiny_graph.relation_component_table(5), [0, 1, 0])
+
+    def test_relation_component_matrix(self, tiny_graph):
+        matrix = tiny_graph.relation_component_matrix([0, 2])
+        assert matrix.shape == (2, 3)
+        np.testing.assert_array_equal(matrix[0], tiny_graph.relation_component_table(0))
+
+    def test_subgraph_induced(self, tiny_graph):
+        sub = tiny_graph.subgraph({0, 1, 2})
+        assert sub.num_triples() == 3
+        assert all(t.head in {0, 1, 2} and t.tail in {0, 1, 2} for t in sub.triples)
+
+    def test_merge(self, tiny_graph):
+        other = KnowledgeGraph(6, 3, [Triple(5, 2, 0)])
+        merged = tiny_graph.merge(other)
+        assert merged.num_triples() == 7
+        assert Triple(5, 2, 0) in merged
+
+    def test_merge_relation_mismatch(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.merge(KnowledgeGraph(6, 5))
+
+    def test_triple_array(self, tiny_graph):
+        array = tiny_graph.triple_array()
+        assert array.shape == (6, 3)
+        assert array.dtype == np.int64
+
+    def test_triple_array_empty(self):
+        assert KnowledgeGraph(3, 2).triple_array().shape == (0, 3)
+
+    def test_copy_is_independent(self, tiny_graph):
+        clone = tiny_graph.copy()
+        clone.add_triple(Triple(5, 0, 0))
+        assert tiny_graph.num_triples() == 6
+        assert clone.num_triples() == 7
+
+    def test_from_tuples(self):
+        graph = KnowledgeGraph.from_tuples([(0, 0, 1), (1, 0, 2)], 3, 1)
+        assert graph.num_triples() == 2
+
+    def test_triples_returns_copy(self, tiny_graph):
+        triples = tiny_graph.triples
+        triples.append(Triple(0, 0, 5))
+        assert tiny_graph.num_triples() == 6
+
+
+class TestStatistics:
+    def test_counts_only_used_elements(self, tiny_graph):
+        stats = compute_statistics(tiny_graph)
+        assert stats.num_entities == 6
+        assert stats.num_relations == 3
+        assert stats.num_triples == 6
+        assert stats.as_row() == (3, 6, 6)
+
+    def test_mean_degree(self, tiny_graph):
+        stats = compute_statistics(tiny_graph)
+        assert stats.mean_degree == pytest.approx(2 * 6 / 6)
+
+    def test_empty_graph(self):
+        stats = compute_statistics(KnowledgeGraph(5, 2))
+        assert stats.num_triples == 0
+        assert stats.num_entities == 0
+
+    def test_triples_per_entity(self, tiny_graph):
+        stats = compute_statistics(tiny_graph)
+        assert stats.triples_per_entity == pytest.approx(1.0)

@@ -1,0 +1,168 @@
+"""Tests for KG I/O, negative sampling and the inductive split builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.io import load_graph_tsv, read_triples_tsv, write_triples_tsv
+from repro.kg.sampling import NegativeSampler, corrupt_triple
+from repro.kg.split import build_inductive_split
+from repro.kg.triple import Triple
+from repro.kg.vocabulary import Vocabulary
+
+
+class TestIO:
+    def test_roundtrip(self, tiny_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        write_triples_tsv(path, tiny_graph)
+        triples, vocab = read_triples_tsv(path)
+        assert len(triples) == tiny_graph.num_triples()
+        assert vocab.num_entities == 6
+        assert vocab.num_relations == 3
+
+    def test_load_graph_tsv(self, tiny_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        write_triples_tsv(path, tiny_graph)
+        loaded = load_graph_tsv(path)
+        assert loaded.num_triples() == tiny_graph.num_triples()
+
+    def test_write_requires_vocabulary(self, tmp_path):
+        graph = KnowledgeGraph(2, 1, [Triple(0, 0, 1)])
+        with pytest.raises(ValueError):
+            write_triples_tsv(tmp_path / "x.tsv", graph)
+
+    def test_read_skips_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("# comment\n\na\tr\tb\n", encoding="utf-8")
+        triples, _ = read_triples_tsv(path)
+        assert len(triples) == 1
+
+    def test_read_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\tb\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            read_triples_tsv(path)
+
+    def test_read_with_fixed_vocabulary(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("a\tr\tb\n", encoding="utf-8")
+        vocab = Vocabulary()
+        vocab.add_entities(["a", "b"])
+        vocab.add_relation("r")
+        triples, _ = read_triples_tsv(path, vocabulary=vocab, create_missing=False)
+        assert triples == [Triple(0, 0, 1)]
+
+    def test_read_unknown_name_raises_when_not_creating(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("a\tr\tunknown\n", encoding="utf-8")
+        vocab = Vocabulary()
+        vocab.add_entities(["a"])
+        vocab.add_relation("r")
+        with pytest.raises(KeyError):
+            read_triples_tsv(path, vocabulary=vocab, create_missing=False)
+
+
+class TestNegativeSampling:
+    def test_corrupt_triple_changes_one_side(self, rng):
+        triple = Triple(0, 1, 2)
+        corrupted = corrupt_triple(triple, [3, 4, 5], rng, corrupt_head=True)
+        assert corrupted.tail == 2 and corrupted.relation == 1
+        corrupted = corrupt_triple(triple, [3, 4, 5], rng, corrupt_head=False)
+        assert corrupted.head == 0
+
+    def test_sampler_avoids_known_facts(self, tiny_graph):
+        sampler = NegativeSampler(tiny_graph, num_negatives=5, seed=0)
+        for positive in tiny_graph.triples:
+            for negative in sampler.sample(positive):
+                assert negative not in tiny_graph
+
+    def test_sampler_respects_num_negatives(self, tiny_graph):
+        sampler = NegativeSampler(tiny_graph, num_negatives=3, seed=0)
+        assert len(sampler.sample(Triple(0, 0, 1))) == 3
+
+    def test_sampler_batch(self, tiny_graph):
+        sampler = NegativeSampler(tiny_graph, num_negatives=2, seed=0)
+        batches = sampler.sample_batch(tiny_graph.triples[:3])
+        assert len(batches) == 3 and all(len(b) == 2 for b in batches)
+
+    def test_invalid_num_negatives(self, tiny_graph):
+        with pytest.raises(ValueError):
+            NegativeSampler(tiny_graph, num_negatives=0)
+
+    def test_sampler_is_deterministic_per_seed(self, tiny_graph):
+        a = NegativeSampler(tiny_graph, seed=5).sample(Triple(0, 0, 1))
+        b = NegativeSampler(tiny_graph, seed=5).sample(Triple(0, 0, 1))
+        assert a == b
+
+
+class TestInductiveSplit:
+    def test_split_partitions_entities(self, small_synthetic_graph):
+        split = build_inductive_split(small_synthetic_graph, seed=0)
+        assert split.original_entities.isdisjoint(split.emerging_entities)
+
+    def test_original_and_emerging_are_disconnected(self, small_synthetic_graph):
+        split = build_inductive_split(small_synthetic_graph, seed=0)
+        for triple in split.original.triples:
+            assert triple.head in split.original_entities
+            assert triple.tail in split.original_entities
+        for triple in split.emerging.triples:
+            assert triple.head in split.emerging_entities
+            assert triple.tail in split.emerging_entities
+
+    def test_bridging_links_span_the_two_graphs(self, small_synthetic_graph):
+        split = build_inductive_split(small_synthetic_graph, seed=0)
+        assert split.bridging_test, "expected at least one bridging link"
+        for triple in split.bridging_test:
+            assert split.is_bridging(triple)
+            assert not split.is_enclosing(triple)
+
+    def test_enclosing_test_links_are_enclosing(self, small_synthetic_graph):
+        split = build_inductive_split(small_synthetic_graph, seed=0)
+        for triple in split.enclosing_test:
+            assert split.is_enclosing(triple)
+            assert not split.is_bridging(triple)
+
+    def test_held_out_links_not_observed(self, small_synthetic_graph):
+        split = build_inductive_split(small_synthetic_graph, seed=0)
+        observed = split.evaluation_graph()
+        for triple in split.enclosing_test + split.bridging_test:
+            assert triple not in observed
+
+    def test_relation_space_is_shared(self, small_synthetic_graph):
+        split = build_inductive_split(small_synthetic_graph, seed=0)
+        assert split.original.num_relations == split.emerging.num_relations
+        assert split.num_relations == small_synthetic_graph.num_relations
+
+    def test_mixed_test_ratios(self, small_synthetic_graph):
+        split = build_inductive_split(small_synthetic_graph, seed=0)
+        mixed = split.mixed_test(enclosing_ratio=1, bridging_ratio=2, seed=0)
+        enclosing = sum(1 for t in mixed if split.is_enclosing(t))
+        bridging = sum(1 for t in mixed if split.is_bridging(t))
+        assert bridging == pytest.approx(2 * enclosing, abs=2)
+
+    def test_mixed_test_deterministic(self, small_synthetic_graph):
+        split = build_inductive_split(small_synthetic_graph, seed=0)
+        assert split.mixed_test(seed=3) == split.mixed_test(seed=3)
+
+    def test_invalid_fractions(self, small_synthetic_graph):
+        with pytest.raises(ValueError):
+            build_inductive_split(small_synthetic_graph, emerging_fraction=0.0)
+        with pytest.raises(ValueError):
+            build_inductive_split(small_synthetic_graph, test_fraction=1.5)
+
+    def test_too_small_graph_rejected(self):
+        graph = KnowledgeGraph(3, 1, [Triple(0, 0, 1)])
+        with pytest.raises(ValueError):
+            build_inductive_split(graph)
+
+    def test_different_seeds_differ(self, small_synthetic_graph):
+        a = build_inductive_split(small_synthetic_graph, seed=0)
+        b = build_inductive_split(small_synthetic_graph, seed=1)
+        assert a.emerging_entities != b.emerging_entities
+
+    def test_evaluation_graph_contains_both(self, small_synthetic_graph):
+        split = build_inductive_split(small_synthetic_graph, seed=0)
+        merged = split.evaluation_graph()
+        assert merged.num_triples() == split.original.num_triples() + split.emerging.num_triples()

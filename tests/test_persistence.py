@@ -1,0 +1,70 @@
+"""Tests for model checkpointing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ModelConfig, TrainingConfig
+from repro.core.model import DEKGILP
+from repro.core.persistence import load_model, save_model
+from repro.core.trainer import Trainer
+from repro.kg.triple import Triple
+
+
+@pytest.fixture
+def trained_model(tiny_graph):
+    config = ModelConfig(embedding_dim=8, gnn_hidden_dim=8, edge_dropout=0.0)
+    training = TrainingConfig(epochs=1, batch_size=4, contrastive_examples=1, seed=0)
+    model = DEKGILP(3, config=config, seed=0)
+    Trainer(model, tiny_graph, training).fit()
+    return model
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_parameters(self, trained_model, tmp_path):
+        path = save_model(trained_model, tmp_path / "model.npz")
+        restored = load_model(path)
+        original_state = trained_model.state_dict()
+        restored_state = restored.state_dict()
+        assert set(original_state) == set(restored_state)
+        for name, value in original_state.items():
+            np.testing.assert_array_equal(value, restored_state[name])
+
+    def test_roundtrip_preserves_scores(self, trained_model, tiny_graph, tmp_path):
+        path = save_model(trained_model, tmp_path / "model")
+        restored = load_model(path)
+        trained_model.set_context(tiny_graph)
+        restored.set_context(tiny_graph)
+        trained_model.eval()
+        for triple in (Triple(0, 0, 1), Triple(0, 1, 2), Triple(3, 0, 4)):
+            assert restored.score(triple) == pytest.approx(trained_model.score(triple))
+
+    def test_suffix_added_automatically(self, trained_model, tmp_path):
+        path = save_model(trained_model, tmp_path / "checkpoint")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_config_restored(self, trained_model, tmp_path):
+        path = save_model(trained_model, tmp_path / "model.npz")
+        restored = load_model(path)
+        assert restored.config == trained_model.config
+        assert restored.num_relations == trained_model.num_relations
+
+    def test_ablation_variant_roundtrip(self, tiny_graph, tmp_path):
+        config = ModelConfig(embedding_dim=8, gnn_hidden_dim=8, use_semantic=False,
+                             edge_dropout=0.0)
+        model = DEKGILP(3, config=config, seed=0)
+        restored = load_model(save_model(model, tmp_path / "variant.npz"))
+        assert restored.clrm is None
+        assert restored.gsm is not None
+
+    def test_invalid_checkpoint_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, weights=np.ones(3))
+        with pytest.raises(ValueError):
+            load_model(bogus)
+
+    def test_loaded_model_is_in_eval_mode(self, trained_model, tmp_path):
+        restored = load_model(save_model(trained_model, tmp_path / "model.npz"))
+        assert not restored.training

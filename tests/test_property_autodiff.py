@@ -1,0 +1,118 @@
+"""Property-based tests (hypothesis) for the autodiff engine."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autodiff import functional as F
+from repro.autodiff.tensor import Tensor
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+small_arrays = arrays(dtype=np.float64, shape=array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=5),
+                      elements=finite_floats)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays)
+def test_add_commutative(values):
+    a, b = Tensor(values), Tensor(values * 0.5 + 1.0)
+    np.testing.assert_allclose((a + b).data, (b + a).data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays)
+def test_mul_distributes_over_add(values):
+    a = Tensor(values)
+    b = Tensor(values + 2.0)
+    c = Tensor(values - 1.0)
+    left = (a * (b + c)).data
+    right = (a * b + a * c).data
+    np.testing.assert_allclose(left, right, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays)
+def test_double_negation_is_identity(values):
+    np.testing.assert_allclose((-(-Tensor(values))).data, values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays)
+def test_exp_log_inverse(values):
+    positive = np.abs(values) + 0.1
+    np.testing.assert_allclose(Tensor(positive).log().exp().data, positive, rtol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays)
+def test_relu_idempotent(values):
+    once = Tensor(values).relu().data
+    twice = Tensor(values).relu().relu().data
+    np.testing.assert_allclose(once, twice)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays)
+def test_sum_matches_numpy(values):
+    assert Tensor(values).sum().item() == np.float64(values.sum())
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays)
+def test_backward_of_sum_is_ones(values):
+    tensor = Tensor(values, requires_grad=True)
+    tensor.sum().backward()
+    np.testing.assert_array_equal(tensor.grad, np.ones_like(values))
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays, finite_floats)
+def test_scalar_mul_gradient_is_scalar(values, scalar):
+    tensor = Tensor(values, requires_grad=True)
+    (tensor * scalar).sum().backward()
+    np.testing.assert_allclose(tensor.grad, np.full_like(values, scalar))
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+              elements=finite_floats))
+def test_softmax_rows_are_distributions(values):
+    out = F.softmax(Tensor(values), axis=1).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=1), np.ones(values.shape[0]), rtol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays)
+def test_sigmoid_symmetry(values):
+    # sigmoid(-x) == 1 - sigmoid(x)
+    left = Tensor(-values).sigmoid().data
+    right = 1.0 - Tensor(values).sigmoid().data
+    np.testing.assert_allclose(left, right, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5))
+def test_matmul_shape_contract(rows, inner, cols):
+    a = Tensor(np.ones((rows, inner)))
+    b = Tensor(np.ones((inner, cols)))
+    out = a @ b
+    assert out.shape == (rows, cols)
+    np.testing.assert_allclose(out.data, np.full((rows, cols), float(inner)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays)
+def test_clamp_min_lower_bound(values):
+    clamped = Tensor(values).clamp_min(0.25).data
+    assert np.all(clamped >= 0.25)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays)
+def test_margin_loss_nonnegative(values):
+    loss = F.margin_ranking_loss(Tensor(values), Tensor(values[::-1].copy()), margin=1.0)
+    assert float(loss.data) >= 0.0

@@ -1,0 +1,44 @@
+"""Tests for the utils package."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.utils.seed import set_global_seed
+from repro.utils.timing import Timer
+
+
+class TestSeed:
+    def test_numpy_reproducible(self):
+        set_global_seed(123)
+        a = np.random.random(5)
+        set_global_seed(123)
+        b = np.random.random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_python_random_reproducible(self):
+        import random
+
+        set_global_seed(99)
+        a = random.random()
+        set_global_seed(99)
+        assert random.random() == a
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.009
+        assert timer.milliseconds >= 9.0
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.seconds
+        with timer:
+            time.sleep(0.01)
+        assert timer.seconds >= first
