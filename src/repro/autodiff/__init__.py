@@ -13,7 +13,14 @@ DEKG-ILP implementation.  It provides:
   clipping.
 """
 
-from repro.autodiff.tensor import Tensor, no_grad
+from repro.autodiff.tensor import (
+    Tensor,
+    gather,
+    no_grad,
+    scatter_add,
+    segment_mean,
+    segment_sum,
+)
 from repro.autodiff import functional
 from repro.autodiff.module import Module, Parameter
 from repro.autodiff.layers import Linear, Embedding, Dropout, ReLU, Sigmoid, Tanh, Sequential
@@ -23,6 +30,10 @@ from repro.autodiff import init
 __all__ = [
     "Tensor",
     "no_grad",
+    "gather",
+    "scatter_add",
+    "segment_sum",
+    "segment_mean",
     "functional",
     "Module",
     "Parameter",

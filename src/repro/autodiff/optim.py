@@ -9,15 +9,32 @@ import numpy as np
 from repro.autodiff.module import Parameter
 
 
-def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float,
+                   error_if_nonfinite: bool = False) -> float:
     """Scale gradients in place so their global L2 norm is at most ``max_norm``.
 
     Returns the norm before clipping.
+
+    A NaN/Inf total norm would make every comparison against ``max_norm``
+    ``False``, silently letting poisoned gradients straight through to the
+    optimizer.  Instead, when the total is non-finite the gradients are
+    zeroed and the non-finite total is returned so callers can detect the
+    poisoned batch; with ``error_if_nonfinite=True`` a ``ValueError`` is
+    raised instead.  Callers should skip the optimizer step when the
+    returned norm is non-finite — zeroed gradients stop the poison from
+    entering the parameters, but stateful optimizers like Adam still apply
+    a momentum update on zero gradients.
     """
     params = [p for p in parameters if p.grad is not None]
     if not params:
         return 0.0
     total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if not np.isfinite(total):
+        if error_if_nonfinite:
+            raise ValueError(f"gradient norm is non-finite ({total})")
+        for p in params:
+            p.grad = np.zeros_like(p.grad)
+        return total
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         for p in params:

@@ -9,6 +9,21 @@ The implementation intentionally supports only the operations needed by the
 DEKG-ILP reproduction (dense linear algebra, elementwise math, reductions,
 indexing/gather, concatenation and a handful of activations) but supports full
 numpy-style broadcasting for the elementwise operations.
+
+Sparse graph primitives
+-----------------------
+:func:`scatter_add` (alias :func:`segment_sum`) and :func:`gather` are the two
+first-class indexed primitives used by the GNN message-passing hot path.  They
+are exact adjoints of each other:
+
+* ``scatter_add(src, index, n)`` sums rows of ``src`` into ``n`` output rows
+  (forward ``np.add.at``; backward is a row gather of the output gradient).
+* ``gather(src, index)`` selects rows (forward fancy indexing; backward is a
+  ``np.add.at`` scatter of the gradient).
+
+Together they let message passing over ``E`` edges run in ``O(E * dim)``
+instead of materializing a dense ``(num_nodes, num_edges)`` one-hot scatter
+matrix per layer.
 """
 
 from __future__ import annotations
@@ -405,8 +420,7 @@ class Tensor:
 
     def gather_rows(self, indices: np.ndarray) -> "Tensor":
         """Select rows (first-axis indexing) — the embedding-lookup primitive."""
-        indices = np.asarray(indices, dtype=np.int64)
-        return self[indices]
+        return gather(self, np.asarray(indices, dtype=np.int64))
 
     @staticmethod
     def concat(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
@@ -475,3 +489,82 @@ class Tensor:
 
     def zero_grad(self) -> None:
         self.grad = None
+
+
+# ---------------------------------------------------------------------- #
+# indexed scatter/gather primitives
+# ---------------------------------------------------------------------- #
+def gather(source: Tensor, indices: np.ndarray) -> Tensor:
+    """Select rows ``source[indices]`` along the first axis.
+
+    Unlike generic ``Tensor.__getitem__`` this is specialized to integer-array
+    row selection, which keeps both directions allocation-lean: forward is a
+    single fancy-indexing gather, backward scatters the incoming gradient back
+    with ``np.add.at`` (duplicate indices accumulate).
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    data = source.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        if source.requires_grad:
+            full = np.zeros_like(source.data)
+            np.add.at(full, indices, np.asarray(grad, dtype=np.float64))
+            source._accumulate(full)
+
+    return Tensor._make(data, (source,), backward)
+
+
+def scatter_add(source: Tensor, indices: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``source`` into ``num_segments`` output rows by ``indices``.
+
+    ``out[i] = sum(source[j] for j where indices[j] == i)`` — the segmented
+    reduction at the heart of graph message aggregation.  Forward uses
+    ``np.add.at`` (unbuffered, so duplicate destinations accumulate
+    correctly); backward is the adjoint gather ``grad[indices]``.
+
+    ``indices`` must be 1-D with one entry per row of ``source`` and every
+    entry in ``[0, num_segments)``.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.ndim != 1:
+        raise ValueError(f"scatter_add expects a 1-D index array, got shape {indices.shape}")
+    if indices.shape[0] != source.data.shape[0]:
+        raise ValueError(
+            f"scatter_add index length {indices.shape[0]} does not match "
+            f"source rows {source.data.shape[0]}"
+        )
+    if num_segments < 0:
+        raise ValueError("num_segments must be non-negative")
+    if indices.size and (indices.min() < 0 or indices.max() >= num_segments):
+        raise IndexError("scatter_add indices out of range")
+    if source.data.ndim == 2 and indices.size >= 128:
+        # Per-column bincount beats the unbuffered np.add.at by ~2x at the
+        # edge counts the GNN hot path produces.
+        out = np.empty((num_segments, source.data.shape[1]), dtype=np.float64)
+        for column in range(source.data.shape[1]):
+            out[:, column] = np.bincount(
+                indices, weights=source.data[:, column], minlength=num_segments)
+    else:
+        out = np.zeros((num_segments,) + source.data.shape[1:], dtype=np.float64)
+        np.add.at(out, indices, source.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if source.requires_grad:
+            source._accumulate(np.asarray(grad, dtype=np.float64)[indices])
+
+    return Tensor._make(out, (source,), backward)
+
+
+def segment_sum(source: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Alias of :func:`scatter_add` under its segmented-reduction name."""
+    return scatter_add(source, segment_ids, num_segments)
+
+
+def segment_mean(source: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Per-segment mean of rows; empty segments yield zero rows."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    sums = scatter_add(source, segment_ids, num_segments)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts[counts == 0] = 1.0
+    inverse = 1.0 / counts
+    return sums * inverse.reshape((num_segments,) + (1,) * (source.data.ndim - 1))

@@ -115,8 +115,9 @@ class EmbeddingModel(LinkPredictor, Module, abc.ABC):
                 negative_scores = self.score_batch(neg[:, 0], neg[:, 1], neg[:, 2])
                 loss = F.margin_ranking_loss(positive_scores, negative_scores, self.margin)
                 loss.backward()
-                clip_grad_norm(self.parameters(), 5.0)
-                optimizer.step()
+                norm = clip_grad_norm(self.parameters(), 5.0)
+                if np.isfinite(norm):
+                    optimizer.step()
         self.eval()
         self._randomize_unseen()
         return self

@@ -83,8 +83,9 @@ class Grail(LinkPredictor, Module):
                     )
                 loss = F.stack(losses).mean()
                 loss.backward()
-                clip_grad_norm(self.parameters(), 5.0)
-                optimizer.step()
+                norm = clip_grad_norm(self.parameters(), 5.0)
+                if np.isfinite(norm):
+                    optimizer.step()
         self.eval()
         return self
 

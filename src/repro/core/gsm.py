@@ -10,7 +10,7 @@ and tail node vectors and a relation embedding (Eq. 11):
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from repro.autodiff.layers import Linear
 from repro.autodiff.module import Module, Parameter
 from repro.autodiff.tensor import Tensor
 from repro.gnn.encoder import SubgraphEncoder
+from repro.gnn.pooling import segment_mean_pool
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
 from repro.subgraph.extraction import ExtractedSubgraph, extract_enclosing_subgraph
@@ -79,6 +80,73 @@ class GSM(Module):
     def score(self, graph: KnowledgeGraph, triple: Triple) -> Tensor:
         """Extract and score the subgraph around ``triple``."""
         return self.score_subgraph(self.extract(graph, triple))
+
+    # ------------------------------------------------------------------ #
+    # batched scoring
+    # ------------------------------------------------------------------ #
+    def extract_pair(self, graph: KnowledgeGraph, head: int, tail: int) -> ExtractedSubgraph:
+        """Relation-agnostic extraction for the batched scorer.
+
+        The structure of an enclosing subgraph depends only on
+        ``(head, tail, hops)``, so one extraction can be cached and re-scored
+        under many candidate relations.  Target-edge removal is skipped here;
+        :meth:`score_batch` callers mask the matching edge per candidate when
+        the scored link happens to exist in the graph.
+        """
+        return extract_enclosing_subgraph(
+            graph, Triple(head, 0, tail), hops=self.hops,
+            improved_labeling=self.improved_labeling,
+            max_nodes=self.max_subgraph_nodes,
+            omit_target_edge=False,
+        )
+
+    def score_batch(self, subgraphs: Sequence[ExtractedSubgraph],
+                    relations: Sequence[int],
+                    edges_list: Optional[Sequence[np.ndarray]] = None) -> Tensor:
+        """Score many subgraphs through the encoder in one pass (Eq. 11).
+
+        The subgraphs are concatenated into a block-diagonal union graph (node
+        feature rows stacked, edge indices offset per block), encoded with a
+        single GNN forward, mean-pooled per block and scored together.  Because
+        message passing is purely index-driven this is numerically equivalent
+        to scoring each subgraph separately.
+
+        ``edges_list`` optionally overrides ``subgraph.edges`` per item (used
+        to drop the target link from a cached, relation-agnostic extraction).
+        """
+        if len(subgraphs) != len(relations):
+            raise ValueError("score_batch needs one relation per subgraph")
+        if not subgraphs:
+            return Tensor(np.zeros(0))
+        if edges_list is None:
+            edges_list = [subgraph.edges for subgraph in subgraphs]
+        num_graphs = len(subgraphs)
+        node_counts = np.array([subgraph.num_nodes for subgraph in subgraphs], dtype=np.int64)
+        offsets = np.zeros(num_graphs + 1, dtype=np.int64)
+        np.cumsum(node_counts, out=offsets[1:])
+
+        features = np.concatenate([subgraph.node_features for subgraph in subgraphs], axis=0)
+        blocks = []
+        for edges, offset in zip(edges_list, offsets[:-1]):
+            if len(edges):
+                shifted = edges.copy()
+                shifted[:, 0] += offset
+                shifted[:, 2] += offset
+                blocks.append(shifted)
+        union_edges = np.concatenate(blocks) if blocks else np.zeros((0, 3), dtype=np.int64)
+        graph_ids = np.repeat(np.arange(num_graphs), node_counts)
+
+        nodes = self.encoder.forward_features(Tensor(features), union_edges)
+        graph_vectors = segment_mean_pool(nodes, graph_ids, num_graphs)
+        head_rows = offsets[:-1] + np.array([s.head_index() for s in subgraphs], dtype=np.int64)
+        tail_rows = offsets[:-1] + np.array([s.tail_index() for s in subgraphs], dtype=np.int64)
+        head_vectors = nodes.gather_rows(head_rows)
+        tail_vectors = nodes.gather_rows(tail_rows)
+        relation_vectors = self.relation_topological.gather_rows(
+            np.asarray(relations, dtype=np.int64))
+        joint = F.concat(
+            [graph_vectors, head_vectors, tail_vectors, relation_vectors], axis=1)
+        return self.scorer(joint).reshape(-1)
 
     def embeddings(self, graph: KnowledgeGraph, triple: Triple) -> tuple[np.ndarray, np.ndarray]:
         """Return the (head, tail) topological embeddings used in the case study (Fig. 8)."""

@@ -15,7 +15,8 @@ the improved node labeling).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -57,6 +58,13 @@ class DEKGILP(Module):
         )
         self._context_graph: Optional[KnowledgeGraph] = None
         self._tables: Optional[RelationComponentStore] = None
+        #: LRU of relation-agnostic extractions keyed by (head, tail, hops);
+        #: shared across the three prediction forms during ranking.  Valid
+        #: only for one CSR snapshot of the context graph: set_context and
+        #: in-place graph mutation both invalidate it.
+        self._subgraph_cache: "OrderedDict[tuple, object]" = OrderedDict()
+        self._subgraph_cache_limit = 4096
+        self._subgraph_cache_snapshot: Optional[object] = None
 
     # ------------------------------------------------------------------ #
     # context management
@@ -72,6 +80,7 @@ class DEKGILP(Module):
             raise ValueError("context graph relation space does not match the model")
         self._context_graph = graph
         self._tables = RelationComponentStore(graph)
+        self._subgraph_cache.clear()
 
     @property
     def context_graph(self) -> KnowledgeGraph:
@@ -114,8 +123,100 @@ class DEKGILP(Module):
             return float(self.forward(triple).data)
 
     def score_many(self, triples: Sequence[Triple]) -> np.ndarray:
-        """Score a sequence of candidate triples (used by the ranking evaluator)."""
-        return np.array([self.score(triple) for triple in triples], dtype=np.float64)
+        """Score a batch of candidate triples (used by the ranking evaluator).
+
+        Both modules are evaluated in vectorized form under ``no_grad``: CLRM
+        fuses each distinct entity's relation-component table once and scores
+        the whole batch with one DistMult pass; GSM reuses cached
+        relation-agnostic subgraph extractions (one per ``(head, tail)`` pair,
+        shared across the head/tail/relation prediction forms) and pushes them
+        through the encoder as block-diagonal union graphs.
+        """
+        from repro.autodiff.tensor import no_grad
+
+        triples = list(triples)
+        if not triples:
+            return np.zeros(0, dtype=np.float64)
+        with no_grad():
+            scores = np.zeros(len(triples), dtype=np.float64)
+            if self.clrm is not None:
+                scores += self._semantic_scores_batch(triples)
+            if self.gsm is not None:
+                scores += self._topological_scores_batch(triples)
+        return scores
+
+    def _semantic_scores_batch(self, triples: List[Triple]) -> np.ndarray:
+        """Vectorized φ_sem: one fusion per distinct entity, one scoring pass."""
+        entities = sorted({e for t in triples for e in (t.head, t.tail)})
+        tables = np.stack([self.tables.table(entity) for entity in entities])
+        embeddings = self.clrm.fuse_batch(tables)
+        row = {entity: index for index, entity in enumerate(entities)}
+        head_rows = np.array([row[t.head] for t in triples], dtype=np.int64)
+        tail_rows = np.array([row[t.tail] for t in triples], dtype=np.int64)
+        relations = [t.relation for t in triples]
+        semantic = self.clrm.score_batch(
+            embeddings.gather_rows(head_rows), relations, embeddings.gather_rows(tail_rows))
+        return semantic.data
+
+    def _topological_scores_batch(self, triples: List[Triple],
+                                  max_chunk: int = 64,
+                                  max_chunk_edges: int = 4096) -> np.ndarray:
+        """Batched φ_tpo over cached subgraph extractions.
+
+        Chunks are sized adaptively: many tiny subgraphs are merged into one
+        union graph to amortize per-op overhead, while large subgraphs get
+        small chunks so the union's intermediate arrays stay cache-resident.
+        """
+        graph = self.context_graph
+        subgraphs = [self._cached_subgraph(graph, t.head, t.tail) for t in triples]
+        scores = np.zeros(len(triples), dtype=np.float64)
+        start = 0
+        while start < len(triples):
+            stop = start + 1
+            edge_budget = subgraphs[start].num_edges
+            while (stop < len(triples) and stop - start < max_chunk
+                   and edge_budget + subgraphs[stop].num_edges <= max_chunk_edges):
+                edge_budget += subgraphs[stop].num_edges
+                stop += 1
+            chunk = slice(start, stop)
+            chunk_triples = triples[chunk]
+            chunk_subgraphs = subgraphs[chunk]
+            edges_list = []
+            for subgraph, triple in zip(chunk_subgraphs, chunk_triples):
+                edges = subgraph.edges
+                # The cached extraction keeps every induced edge; drop the
+                # scored link itself when it exists in the context graph.
+                if graph.contains(triple.head, triple.relation, triple.tail):
+                    head_local = subgraph.node_index[triple.head]
+                    tail_local = subgraph.node_index[triple.tail]
+                    keep = ~((edges[:, 0] == head_local)
+                             & (edges[:, 1] == triple.relation)
+                             & (edges[:, 2] == tail_local))
+                    edges = edges[keep]
+                edges_list.append(edges)
+            relations = [t.relation for t in chunk_triples]
+            scores[chunk] = self.gsm.score_batch(chunk_subgraphs, relations, edges_list).data
+            start = stop
+        return scores
+
+    def _cached_subgraph(self, graph: KnowledgeGraph, head: int, tail: int):
+        # The graph rebuilds its frozen CSR snapshot whenever a triple is
+        # added; a changed snapshot identity means every cached extraction
+        # is potentially stale.
+        snapshot = graph.adjacency()
+        if snapshot is not self._subgraph_cache_snapshot:
+            self._subgraph_cache.clear()
+            self._subgraph_cache_snapshot = snapshot
+        key = (head, tail, self.gsm.hops)
+        cached = self._subgraph_cache.get(key)
+        if cached is not None:
+            self._subgraph_cache.move_to_end(key)
+            return cached
+        subgraph = self.gsm.extract_pair(graph, head, tail)
+        self._subgraph_cache[key] = subgraph
+        if len(self._subgraph_cache) > self._subgraph_cache_limit:
+            self._subgraph_cache.popitem(last=False)
+        return subgraph
 
     # ------------------------------------------------------------------ #
     # introspection for the case study (Fig. 8)

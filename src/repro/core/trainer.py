@@ -35,6 +35,8 @@ class EpochRecord:
     ranking_loss: float
     contrastive_loss: float
     seconds: float
+    skipped_batches: int = 0
+    """Batches whose gradients came back non-finite and were not applied."""
 
 
 @dataclass
@@ -130,6 +132,7 @@ class Trainer:
         triples = self.train_graph.triples
         ranking_total = 0.0
         contrastive_total = 0.0
+        skipped = 0
         batches = self._batches(triples)
         for batch in batches:
             self.optimizer.zero_grad()
@@ -137,24 +140,35 @@ class Trainer:
             contrastive = self._contrastive_loss(batch)
             loss = ranking + contrastive * self.config.contrastive_weight
             loss.backward()
-            clip_grad_norm(self.model.parameters(), self.config.grad_clip)
-            self.optimizer.step()
-            ranking_total += float(ranking.data)
-            contrastive_total += float(contrastive.data)
-        n_batches = max(1, len(batches))
+            norm = clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+            if not np.isfinite(norm):
+                # clip_grad_norm zeroed the poisoned gradients.  Skip the
+                # optimizer step entirely (with Adam, even zero gradients
+                # would apply a momentum update) and keep the batch's likely
+                # NaN/Inf loss out of the epoch totals.
+                skipped += 1
+            else:
+                self.optimizer.step()
+                ranking_total += float(ranking.data)
+                contrastive_total += float(contrastive.data)
+        # Average over the batches that actually contributed an update; the
+        # skipped_batches field carries the poisoned-batch count.
+        n_batches = max(1, len(batches) - skipped)
         record = EpochRecord(
             epoch=epoch,
             total_loss=(ranking_total + self.config.contrastive_weight * contrastive_total) / n_batches,
             ranking_loss=ranking_total / n_batches,
             contrastive_loss=contrastive_total / n_batches,
             seconds=time.perf_counter() - start,
+            skipped_batches=skipped,
         )
         self.history.append(record)
         if self.config.verbose:
+            skipped_note = f", skipped={record.skipped_batches}" if record.skipped_batches else ""
             print(
                 f"epoch {epoch}: loss={record.total_loss:.4f} "
                 f"(ranking={record.ranking_loss:.4f}, contrastive={record.contrastive_loss:.4f}, "
-                f"{record.seconds:.2f}s)"
+                f"{record.seconds:.2f}s{skipped_note})"
             )
         return record
 

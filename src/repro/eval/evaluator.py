@@ -113,9 +113,10 @@ class Evaluator:
             max_candidates=self.max_candidates,
             rng=self._rng,
         )
-        true_score = float(model.score_many([triple])[0])
-        candidate_scores = model.score_many(candidates) if candidates else []
-        return rank_candidates(true_score, candidate_scores)
+        # One batched call: the true triple and its same-target-link candidates
+        # share subgraph extractions and a single GNN pass inside the model.
+        scores = model.score_many([triple] + candidates)
+        return rank_candidates(float(scores[0]), scores[1:])
 
     # ------------------------------------------------------------------ #
     def evaluate_many(self, models: Dict[str, object]) -> List[EvaluationResult]:

@@ -52,7 +52,12 @@ def filtered_candidates(triple: Triple, form: PredictionForm,
 
     candidates = [c for c in candidates if c.astuple() not in known_facts]
     if max_candidates is not None and len(candidates) > max_candidates:
-        rng = rng or np.random.default_rng()
+        if rng is None:
+            raise ValueError(
+                "filtered_candidates with max_candidates requires an explicit "
+                "seeded rng — an unseeded fallback would make sampled ranking "
+                "non-reproducible run-to-run"
+            )
         chosen = rng.choice(len(candidates), size=max_candidates, replace=False)
         candidates = [candidates[i] for i in chosen]
     return candidates
@@ -64,10 +69,20 @@ def rank_candidates(true_score: float, candidate_scores: Iterable[float]) -> int
     Ties are broken pessimistically against the model (candidates scoring
     exactly the same as the true triple count as ranked above it half the
     time, using the standard "average" tie policy rounded up).
+
+    Non-finite scores are treated pessimistically instead of silently
+    vanishing from the comparisons: a NaN/Inf *true* score ranks below every
+    candidate, and NaN candidate scores count as ranked above the true triple.
+    (``nan > x`` and ``nan == x`` are both ``False``, so a naive count would
+    quietly inflate MRR/Hits for a numerically broken model.)
     """
     scores = np.asarray(list(candidate_scores), dtype=np.float64)
+    if not np.isfinite(true_score):
+        return 1 + scores.size
     if scores.size == 0:
         return 1
-    higher = int(np.sum(scores > true_score))
-    equal = int(np.sum(scores == true_score))
+    finite = np.isfinite(scores)
+    # Every non-finite candidate (NaN, ±Inf) counts as ranked above.
+    higher = int(np.sum(scores[finite] > true_score)) + int(np.sum(~finite))
+    equal = int(np.sum(scores[finite] == true_score))
     return 1 + higher + (equal + 1) // 2

@@ -1,13 +1,15 @@
 """Relational GNN substrate: R-GCN layers with edge attention and pooling."""
 
-from repro.gnn.message_passing import aggregate_messages
+from repro.gnn.message_passing import aggregate_messages, aggregate_messages_dense
 from repro.gnn.rgcn import RGCNLayer
 from repro.gnn.encoder import SubgraphEncoder
-from repro.gnn.pooling import mean_pool_nodes
+from repro.gnn.pooling import mean_pool_nodes, segment_mean_pool
 
 __all__ = [
     "aggregate_messages",
+    "aggregate_messages_dense",
     "RGCNLayer",
     "SubgraphEncoder",
     "mean_pool_nodes",
+    "segment_mean_pool",
 ]

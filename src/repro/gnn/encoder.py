@@ -41,10 +41,20 @@ class SubgraphEncoder(Module):
 
     def forward(self, subgraph: ExtractedSubgraph) -> Tensor:
         """Return the ``(num_nodes, hidden_dim)`` matrix of node representations."""
-        features = Tensor(subgraph.node_features)
+        return self.forward_features(Tensor(subgraph.node_features), subgraph.edges)
+
+    def forward_features(self, features: Tensor, edges: np.ndarray) -> Tensor:
+        """Run the GNN stack on raw node features and an edge array.
+
+        This is the substrate shared by single-subgraph encoding and the
+        batched scoring path: because message passing is purely index-driven,
+        several subgraphs concatenated into one block-diagonal union graph
+        (node rows stacked, edge indices offset per block) encode in a single
+        pass with results identical to encoding each subgraph separately.
+        """
         hidden = self.input_projection(features)
         for layer in self.layers:
-            hidden = layer(hidden, subgraph.edges)
+            hidden = layer(hidden, edges)
         return hidden
 
     def encode(self, subgraph: ExtractedSubgraph) -> tuple[Tensor, Tensor, Tensor]:

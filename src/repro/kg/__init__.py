@@ -2,7 +2,7 @@
 
 from repro.kg.triple import Triple
 from repro.kg.vocabulary import Vocabulary
-from repro.kg.graph import KnowledgeGraph
+from repro.kg.graph import CSRAdjacency, KnowledgeGraph
 from repro.kg.sampling import NegativeSampler, corrupt_triple
 from repro.kg.split import InductiveSplit, build_inductive_split
 from repro.kg.io import read_triples_tsv, write_triples_tsv
@@ -12,6 +12,7 @@ __all__ = [
     "Triple",
     "Vocabulary",
     "KnowledgeGraph",
+    "CSRAdjacency",
     "NegativeSampler",
     "corrupt_triple",
     "InductiveSplit",

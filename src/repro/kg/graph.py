@@ -1,14 +1,113 @@
-"""In-memory knowledge graph with adjacency and relation-component indexes."""
+"""In-memory knowledge graph with adjacency and relation-component indexes.
+
+Besides the Python-dict indexes used for single-entity queries, the graph
+exposes a frozen CSR-style adjacency snapshot (:meth:`KnowledgeGraph.adjacency`)
+holding flat ``int64`` neighbor/relation arrays plus offsets.  It is built
+lazily on first use, invalidated whenever a triple is added, and is what the
+subgraph-extraction hot path (BFS frontier expansion, induced-edge collection)
+operates on — no per-node Python ``set``/``list`` churn.
+"""
 
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.kg.triple import Triple
 from repro.kg.vocabulary import Vocabulary
+
+
+def _ragged_take(offsets: np.ndarray, values: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+    """Concatenate the CSR slices ``values[offsets[n]:offsets[n+1]]`` for ``nodes``."""
+    starts = offsets[nodes]
+    counts = offsets[nodes + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=values.dtype)
+    # index = start_i + (position within slice), vectorized over all slices
+    ends = np.cumsum(counts)
+    index = np.arange(total, dtype=np.int64) + np.repeat(starts - (ends - counts), counts)
+    return values[index]
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """Immutable compressed-sparse-row view of a :class:`KnowledgeGraph`.
+
+    Two indexes are kept, both addressed by global entity id:
+
+    * undirected unique-neighbor lists (``und_*``) driving BFS frontier
+      expansion in :mod:`repro.subgraph.neighborhood`;
+    * directed out-edge lists (``out_*``; tails and relations, stably sorted
+      by head so per-head insertion order is preserved) driving induced-edge
+      collection in :mod:`repro.subgraph.extraction`.
+    """
+
+    num_nodes: int
+    und_offsets: np.ndarray   #: ``(num_nodes + 1,)`` slice bounds into ``und_neighbors``
+    und_neighbors: np.ndarray  #: flat unique undirected neighbor ids
+    out_offsets: np.ndarray   #: ``(num_nodes + 1,)`` slice bounds into ``out_tails``
+    out_tails: np.ndarray     #: flat tail ids of out-edges, grouped by head
+    out_relations: np.ndarray  #: relation ids aligned with ``out_tails``
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Unique undirected neighbors of ``node`` (read-only view)."""
+        return self.und_neighbors[self.und_offsets[node]:self.und_offsets[node + 1]]
+
+    def neighbors_of_many(self, nodes: np.ndarray) -> np.ndarray:
+        """Concatenated undirected neighbors of every node in ``nodes``."""
+        return _ragged_take(self.und_offsets, self.und_neighbors, np.asarray(nodes, dtype=np.int64))
+
+    def out_edges_of_many(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Out-edges of ``nodes`` as ``(heads, relations, tails)`` flat arrays.
+
+        Edges appear grouped in the order of ``nodes``; within one head they
+        keep the graph's triple-insertion order.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        counts = self.out_offsets[nodes + 1] - self.out_offsets[nodes]
+        heads = np.repeat(nodes, counts)
+        tails = _ragged_take(self.out_offsets, self.out_tails, nodes)
+        relations = _ragged_take(self.out_offsets, self.out_relations, nodes)
+        return heads, relations, tails
+
+    @staticmethod
+    def build(num_nodes: int, triples: np.ndarray) -> "CSRAdjacency":
+        """Construct the snapshot from an ``(n, 3)`` triple array."""
+        heads = triples[:, 0]
+        relations = triples[:, 1]
+        tails = triples[:, 2]
+
+        # Directed out-edges, stably grouped by head.
+        order = np.argsort(heads, kind="stable")
+        out_counts = np.bincount(heads, minlength=num_nodes)
+        out_offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(out_counts, out=out_offsets[1:])
+
+        # Undirected unique neighbors from both edge directions.
+        src = np.concatenate([heads, tails])
+        dst = np.concatenate([tails, heads])
+        pair_order = np.lexsort((dst, src))
+        src, dst = src[pair_order], dst[pair_order]
+        if src.size:
+            keep = np.ones(src.size, dtype=bool)
+            keep[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+            src, dst = src[keep], dst[keep]
+        und_counts = np.bincount(src, minlength=num_nodes)
+        und_offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(und_counts, out=und_offsets[1:])
+
+        return CSRAdjacency(
+            num_nodes=num_nodes,
+            und_offsets=und_offsets,
+            und_neighbors=dst,
+            out_offsets=out_offsets,
+            out_tails=tails[order],
+            out_relations=relations[order],
+        )
 
 
 class KnowledgeGraph:
@@ -38,6 +137,7 @@ class KnowledgeGraph:
         self._in: Dict[int, List[Triple]] = defaultdict(list)
         self._undirected: Dict[int, Set[int]] = defaultdict(set)
         self._relation_counts: Dict[int, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+        self._adjacency: Optional[CSRAdjacency] = None
         if triples is not None:
             self.add_triples(triples)
 
@@ -57,6 +157,7 @@ class KnowledgeGraph:
         if key in self._triple_set:
             return False
         self._validate(triple)
+        self._adjacency = None  # mutation invalidates the frozen CSR snapshot
         self._triple_set.add(key)
         self._triples.append(triple)
         self._out[triple.head].append(triple)
@@ -130,6 +231,17 @@ class KnowledgeGraph:
     def degree(self, entity: int) -> int:
         """Number of triples touching ``entity``."""
         return len(self._out.get(entity, ())) + len(self._in.get(entity, ()))
+
+    def adjacency(self) -> CSRAdjacency:
+        """Frozen CSR adjacency snapshot (built lazily, invalidated on mutation).
+
+        The returned object is shared between callers; treat its arrays as
+        read-only.  Adding a triple discards the cached snapshot, so holders of
+        a stale reference keep a consistent (if outdated) view.
+        """
+        if self._adjacency is None:
+            self._adjacency = CSRAdjacency.build(self.num_entities, self.triple_array())
+        return self._adjacency
 
     # ------------------------------------------------------------------ #
     # relation-component table (Eq. 2)

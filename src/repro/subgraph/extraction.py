@@ -11,7 +11,7 @@ situation the improved node labeling is designed to handle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -75,9 +75,38 @@ class ExtractedSubgraph:
         return True
 
 
+def collect_induced_edges(graph: KnowledgeGraph, nodes: List[int],
+                          node_index: Dict[int, int],
+                          target: Optional[Triple] = None) -> np.ndarray:
+    """Edges of the subgraph induced on ``nodes``, re-indexed to local ids.
+
+    Gathers the out-edge CSR slices of every retained node in one vectorized
+    pass and keeps the edges whose tail is also retained; the ``target`` link
+    itself (if present in the graph) is dropped.  Edge order matches the
+    historical per-node iteration: ascending head id, insertion order within
+    one head.
+    """
+    if not nodes:
+        return np.zeros((0, 3), dtype=np.int64)
+    adjacency = graph.adjacency()
+    nodes_arr = np.fromiter(nodes, dtype=np.int64, count=len(nodes))
+    local = np.full(graph.num_entities, -1, dtype=np.int64)
+    local[nodes_arr] = np.array([node_index[int(n)] for n in nodes_arr], dtype=np.int64)
+    heads, relations, tails = adjacency.out_edges_of_many(nodes_arr)
+    keep = local[tails] >= 0
+    if target is not None:
+        keep &= ~((heads == target.head)
+                  & (relations == target.relation)
+                  & (tails == target.tail))
+    if not keep.any():
+        return np.zeros((0, 3), dtype=np.int64)
+    return np.column_stack([local[heads[keep]], relations[keep], local[tails[keep]]])
+
+
 def extract_enclosing_subgraph(graph: KnowledgeGraph, target: Triple, hops: int = 2,
                                improved_labeling: bool = True,
-                               max_nodes: int = 200) -> ExtractedSubgraph:
+                               max_nodes: int = 200,
+                               omit_target_edge: bool = True) -> ExtractedSubgraph:
     """Extract and label the subgraph around ``target`` from ``graph``.
 
     Parameters
@@ -95,6 +124,11 @@ def extract_enclosing_subgraph(graph: KnowledgeGraph, target: Triple, hops: int 
     max_nodes:
         Safety cap on subgraph size; the highest-degree overflow nodes are
         dropped first (endpoints are always kept).
+    omit_target_edge:
+        Drop the target link itself from the collected edges if it happens to
+        exist in ``graph``.  Callers that cache one extraction per
+        ``(head, tail)`` pair and re-score it under many candidate relations
+        pass ``False`` and mask the matching edge per candidate instead.
     """
     head, tail = target.head, target.tail
     head_region = k_hop_neighborhood(graph, head, hops)
@@ -122,17 +156,8 @@ def extract_enclosing_subgraph(graph: KnowledgeGraph, target: Triple, hops: int 
 
     features, node_index = node_label_features(labels, hops)
     nodes = sorted(labels)
-
-    edge_rows = []
-    node_set = set(nodes)
-    for node in nodes:
-        for triple in graph.triples_from(node):
-            if triple.tail in node_set:
-                # Skip the target link itself if it happens to exist in the graph.
-                if triple == target:
-                    continue
-                edge_rows.append((node_index[triple.head], triple.relation, node_index[triple.tail]))
-    edges = np.array(edge_rows, dtype=np.int64) if edge_rows else np.zeros((0, 3), dtype=np.int64)
+    edges = collect_induced_edges(graph, nodes, node_index,
+                                  target if omit_target_edge else None)
 
     return ExtractedSubgraph(
         target=target,

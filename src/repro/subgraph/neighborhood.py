@@ -1,11 +1,28 @@
-"""Breadth-first neighborhood utilities over a knowledge graph."""
+"""Breadth-first neighborhood utilities over a knowledge graph.
+
+Both traversals run level-synchronously on the graph's frozen CSR adjacency
+snapshot (:meth:`repro.kg.graph.KnowledgeGraph.adjacency`): each hop gathers
+the concatenated neighbor lists of the whole frontier in a handful of numpy
+operations instead of looping over Python sets node by node.
+"""
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Dict, Iterable, Optional, Set
 
+import numpy as np
+
 from repro.kg.graph import KnowledgeGraph
+
+
+def _membership_mask(ids: Optional[Iterable[int]], size: int) -> np.ndarray:
+    """Boolean mask of ``size`` with ``ids`` set (out-of-range ids ignored)."""
+    mask = np.zeros(size, dtype=bool)
+    if ids:
+        arr = np.fromiter((int(i) for i in ids), dtype=np.int64)
+        arr = arr[(arr >= 0) & (arr < size)]
+        mask[arr] = True
+    return mask
 
 
 def k_hop_neighborhood(graph: KnowledgeGraph, entity: int, hops: int,
@@ -18,21 +35,27 @@ def k_hop_neighborhood(graph: KnowledgeGraph, entity: int, hops: int,
     """
     if hops < 0:
         raise ValueError("hops must be non-negative")
-    exclude = exclude or set()
-    visited = {entity}
-    frontier = {entity}
+    num_entities = graph.num_entities
+    if not 0 <= entity < num_entities:
+        return {entity}
+    adjacency = graph.adjacency()
+    visited = np.zeros(num_entities, dtype=bool)
+    visited[entity] = True
+    if exclude:
+        visited |= _membership_mask(exclude, num_entities)
+    result = {int(entity)}
+    frontier = np.array([entity], dtype=np.int64)
     for _ in range(hops):
-        next_frontier: Set[int] = set()
-        for node in frontier:
-            for neighbor in graph.neighbors(node):
-                if neighbor in visited or neighbor in exclude:
-                    continue
-                visited.add(neighbor)
-                next_frontier.add(neighbor)
-        if not next_frontier:
+        neighbors = adjacency.neighbors_of_many(frontier)
+        if neighbors.size == 0:
             break
-        frontier = next_frontier
-    return visited
+        neighbors = np.unique(neighbors)
+        frontier = neighbors[~visited[neighbors]]
+        if frontier.size == 0:
+            break
+        visited[frontier] = True
+        result.update(int(n) for n in frontier)
+    return result
 
 
 def shortest_path_lengths(graph: KnowledgeGraph, source: int,
@@ -45,23 +68,32 @@ def shortest_path_lengths(graph: KnowledgeGraph, source: int,
     a forbidden node can still be a target itself.  Targets that are not
     reachable within ``max_distance`` are omitted from the result.
     """
-    forbidden = forbidden or set()
-    targets = set(targets)
+    num_entities = graph.num_entities
+    target_set = {int(t) for t in targets}
     distances: Dict[int, int] = {}
-    if source in targets:
+    if source in target_set:
         distances[source] = 0
-    seen = {source}
-    queue = deque([(source, 0)])
-    while queue:
-        node, dist = queue.popleft()
-        if dist >= max_distance:
-            continue
-        for neighbor in graph.neighbors(node):
-            if neighbor in seen:
-                continue
-            seen.add(neighbor)
-            if neighbor in targets and neighbor not in distances:
-                distances[neighbor] = dist + 1
-            if neighbor not in forbidden:
-                queue.append((neighbor, dist + 1))
+    if not 0 <= source < num_entities:
+        return distances
+    adjacency = graph.adjacency()
+    is_target = _membership_mask(target_set, num_entities)
+    blocked = _membership_mask(forbidden, num_entities)
+    seen = np.zeros(num_entities, dtype=bool)
+    seen[source] = True
+    # The source always expands, even if listed as forbidden.
+    frontier = np.array([source], dtype=np.int64)
+    for distance in range(1, max_distance + 1):
+        neighbors = adjacency.neighbors_of_many(frontier)
+        if neighbors.size == 0:
+            break
+        neighbors = np.unique(neighbors)
+        reached = neighbors[~seen[neighbors]]
+        if reached.size == 0:
+            break
+        seen[reached] = True
+        for node in reached[is_target[reached]]:
+            distances[int(node)] = distance
+        frontier = reached[~blocked[reached]]
+        if frontier.size == 0:
+            break
     return distances

@@ -150,6 +150,25 @@ def _quick_training_setup(tiny_graph, **config_overrides):
 
 
 class TestTrainer:
+    def test_poisoned_batches_are_skipped_and_kept_out_of_totals(self, tiny_graph):
+        # Regression: a NaN-loss batch must neither move the parameters (even
+        # through Adam momentum) nor leak NaN into the epoch's loss record.
+        model, trainer = _quick_training_setup(tiny_graph)
+        trainer.train_epoch(0)  # build up Adam momentum on healthy batches
+
+        def poisoned_loss(batch):
+            return (model.clrm.relation_features * np.nan).sum()
+
+        trainer._ranking_loss = poisoned_loss
+        before = {name: p.data.copy() for name, p in model.named_parameters()}
+        record = trainer.train_epoch(1)
+        assert record.skipped_batches == 2  # 6 triples / batch_size 4
+        assert np.isfinite(record.total_loss)
+        assert np.isfinite(record.ranking_loss)
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name],
+                                          err_msg=f"{name} moved on a skipped batch")
+
     def test_single_epoch_records_history(self, tiny_graph):
         model, trainer = _quick_training_setup(tiny_graph)
         history = trainer.fit()

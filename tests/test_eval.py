@@ -96,6 +96,34 @@ class TestRanking:
                                          max_candidates=10, rng=np.random.default_rng(0))
         assert len(candidates) == 10
 
+    def test_subsampling_without_rng_rejected(self):
+        # Regression: an unseeded default_rng() fallback made sampled ranking
+        # non-reproducible run-to-run; sampling now demands an explicit rng.
+        with pytest.raises(ValueError, match="seeded rng"):
+            filtered_candidates(Triple(0, 0, 1), "head", list(range(100)), [0], set(),
+                                max_candidates=10)
+
+    def test_subsampling_is_reproducible_with_seeded_rng(self):
+        picks = [
+            filtered_candidates(Triple(0, 0, 1), "head", list(range(100)), [0], set(),
+                                max_candidates=10, rng=np.random.default_rng(42))
+            for _ in range(2)
+        ]
+        assert picks[0] == picks[1]
+
+    def test_nan_true_score_ranks_last(self):
+        # Regression: NaN compares False to everything, so a NaN true score
+        # used to get rank 1 and silently inflate MRR/Hits.
+        assert rank_candidates(float("nan"), [0.5, 0.2, 0.1]) == 4
+        assert rank_candidates(float("inf"), [0.5]) == 2
+        assert rank_candidates(float("-inf"), []) == 1
+
+    def test_nan_candidate_scores_rank_above_true(self):
+        # Regression: NaN candidates counted as neither higher nor equal.
+        assert rank_candidates(1.0, [float("nan"), 0.5]) == 2
+        assert rank_candidates(1.0, [float("nan"), float("inf"), float("-inf")]) == 4
+        assert rank_candidates(1.0, [0.5, 0.2]) == 1
+
 
 class ConstantModel:
     """Scores every triple identically (worst case for ranking)."""

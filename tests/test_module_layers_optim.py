@@ -227,3 +227,50 @@ class TestOptimizers:
     def test_clip_grad_norm_no_grads(self):
         param = Parameter(np.array([1.0]))
         assert clip_grad_norm([param], 1.0) == 0.0
+
+    def test_clip_grad_norm_zeroes_nan_gradients(self):
+        # Regression: nan > max_norm is False, so poisoned gradients used to
+        # pass through unclipped while the returned "norm" was NaN.
+        param = Parameter(np.array([1.0, 1.0]))
+        param.grad = np.array([np.nan, 1.0])
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert not np.isfinite(norm)
+        np.testing.assert_array_equal(param.grad, np.zeros(2))
+
+    def test_clip_grad_norm_zeroes_inf_gradients(self):
+        healthy = Parameter(np.array([1.0]))
+        healthy.grad = np.array([2.0])
+        poisoned = Parameter(np.array([1.0]))
+        poisoned.grad = np.array([np.inf])
+        norm = clip_grad_norm([healthy, poisoned], max_norm=1.0)
+        assert not np.isfinite(norm)
+        # The whole step is skipped, not just the poisoned parameter.
+        np.testing.assert_array_equal(healthy.grad, np.zeros(1))
+        np.testing.assert_array_equal(poisoned.grad, np.zeros(1))
+
+    def test_clip_grad_norm_error_if_nonfinite(self):
+        param = Parameter(np.array([1.0]))
+        param.grad = np.array([np.nan])
+        with pytest.raises(ValueError, match="non-finite"):
+            clip_grad_norm([param], 1.0, error_if_nonfinite=True)
+
+    def test_nonfinite_step_is_noop_through_optimizer(self):
+        param = Parameter(np.array([1.0, 2.0]))
+        optimizer = SGD([param], lr=0.5)
+        param.grad = np.array([np.nan, np.inf])
+        clip_grad_norm([param], max_norm=1.0)
+        optimizer.step()
+        np.testing.assert_array_equal(param.data, [1.0, 2.0])
+
+    def test_adam_moves_on_zero_gradients(self):
+        # Documents why Trainer must skip optimizer.step() outright when
+        # clip_grad_norm reports a non-finite norm: Adam's momentum applies
+        # a nonzero update even after the gradients are zeroed.
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param], lr=0.1)
+        param.grad = np.array([1.0])
+        optimizer.step()
+        moved = param.data.copy()
+        param.grad = np.zeros(1)
+        optimizer.step()
+        assert param.data[0] != moved[0]
