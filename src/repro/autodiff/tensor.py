@@ -494,22 +494,46 @@ class Tensor:
 # ---------------------------------------------------------------------- #
 # indexed scatter/gather primitives
 # ---------------------------------------------------------------------- #
+def _scatter_rows(indices: np.ndarray, values: np.ndarray, num_rows: int) -> np.ndarray:
+    """Sum ``values`` rows into ``num_rows`` output rows by ``indices``.
+
+    The shared kernel behind ``scatter_add``'s forward and ``gather``'s
+    backward.  Above 128 rows a per-column ``np.bincount`` beats the
+    unbuffered ``np.add.at`` by ~2x at the shapes the GNN hot path produces;
+    below that (or for >2-D values) the simple scatter wins.
+    """
+    if values.ndim == 1 and indices.size >= 128:
+        return np.bincount(indices, weights=values, minlength=num_rows)[:num_rows]
+    if values.ndim == 2 and indices.size >= 128:
+        out = np.empty((num_rows, values.shape[1]), dtype=np.float64)
+        for column in range(values.shape[1]):
+            out[:, column] = np.bincount(
+                indices, weights=values[:, column], minlength=num_rows)[:num_rows]
+        return out
+    out = np.zeros((num_rows,) + values.shape[1:], dtype=np.float64)
+    np.add.at(out, indices, values)
+    return out
+
+
 def gather(source: Tensor, indices: np.ndarray) -> Tensor:
     """Select rows ``source[indices]`` along the first axis.
 
     Unlike generic ``Tensor.__getitem__`` this is specialized to integer-array
     row selection, which keeps both directions allocation-lean: forward is a
     single fancy-indexing gather, backward scatters the incoming gradient back
-    with ``np.add.at`` (duplicate indices accumulate).
+    through the shared row-scatter kernel (duplicate indices accumulate).
     """
     indices = np.asarray(indices, dtype=np.int64)
+    # Normalize negative (wrap-around) indices up front so the bincount
+    # scatter in backward sees the same rows fancy indexing selected.
+    if indices.size and indices.min() < 0:
+        indices = np.where(indices < 0, indices + source.data.shape[0], indices)
     data = source.data[indices]
 
     def backward(grad: np.ndarray) -> None:
         if source.requires_grad:
-            full = np.zeros_like(source.data)
-            np.add.at(full, indices, np.asarray(grad, dtype=np.float64))
-            source._accumulate(full)
+            grad = np.asarray(grad, dtype=np.float64)
+            source._accumulate(_scatter_rows(indices, grad, source.data.shape[0]))
 
     return Tensor._make(data, (source,), backward)
 
@@ -537,16 +561,7 @@ def scatter_add(source: Tensor, indices: np.ndarray, num_segments: int) -> Tenso
         raise ValueError("num_segments must be non-negative")
     if indices.size and (indices.min() < 0 or indices.max() >= num_segments):
         raise IndexError("scatter_add indices out of range")
-    if source.data.ndim == 2 and indices.size >= 128:
-        # Per-column bincount beats the unbuffered np.add.at by ~2x at the
-        # edge counts the GNN hot path produces.
-        out = np.empty((num_segments, source.data.shape[1]), dtype=np.float64)
-        for column in range(source.data.shape[1]):
-            out[:, column] = np.bincount(
-                indices, weights=source.data[:, column], minlength=num_segments)
-    else:
-        out = np.zeros((num_segments,) + source.data.shape[1:], dtype=np.float64)
-        np.add.at(out, indices, source.data)
+    out = _scatter_rows(indices, source.data, num_segments)
 
     def backward(grad: np.ndarray) -> None:
         if source.requires_grad:

@@ -105,7 +105,9 @@ class EmbeddingModel(LinkPredictor, Module, abc.ABC):
                 batch = [triples[i] for i in order[start:start + self.batch_size]]
                 if not batch:
                     continue
-                negatives = [neg for triple in batch for neg in sampler.sample(triple)]
+                # One vectorized draw for the whole batch's corruptions.
+                negatives = [neg for per_positive in sampler.sample_batch(batch)
+                             for neg in per_positive]
                 positives_repeated = [triple for triple in batch for _ in range(self.num_negatives)]
 
                 pos = np.array([t.astuple() for t in positives_repeated], dtype=np.int64)

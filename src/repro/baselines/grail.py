@@ -60,6 +60,16 @@ class Grail(LinkPredictor, Module):
     def _triple_score(self, graph: KnowledgeGraph, triple: Triple) -> Tensor:
         return self.gsm.score(graph, triple)
 
+    def _batch_scores(self, graph: KnowledgeGraph, triples: Sequence[Triple]) -> Tensor:
+        """Differentiable ``(n,)`` scores for a batch of triples.
+
+        Extracts every (target-aware) subgraph and encodes them as chunked
+        block-diagonal union graphs — one GNN pass per chunk instead of one
+        per triple.  Subclasses that add per-triple score terms override this.
+        """
+        subgraphs = [self.gsm.extract(graph, t) for t in triples]
+        return self.gsm.score_batch_chunked(subgraphs, [t.relation for t in triples])
+
     def fit(self, train_graph: KnowledgeGraph, epochs: int = 10) -> "Grail":
         self.train()
         self._context = train_graph
@@ -72,16 +82,15 @@ class Grail(LinkPredictor, Module):
                 batch = [triples[i] for i in order[start:start + self.batch_size]]
                 if not batch:
                     continue
+                negatives = [negs[0] for negs in sampler.sample_batch(batch)]
                 optimizer.zero_grad()
-                losses = []
-                for positive in batch:
-                    positive_score = self._triple_score(train_graph, positive)
-                    negative = sampler.sample(positive)[0]
-                    negative_score = self._triple_score(train_graph, negative)
-                    losses.append(
-                        (Tensor(self.margin) - positive_score + negative_score).clamp_min(0.0)
-                    )
-                loss = F.stack(losses).mean()
+                scores = self._batch_scores(train_graph, batch + negatives)
+                rows = np.arange(len(batch), dtype=np.int64)
+                loss = F.margin_ranking_loss(
+                    scores.gather_rows(rows),
+                    scores.gather_rows(len(batch) + rows),
+                    self.margin,
+                )
                 loss.backward()
                 norm = clip_grad_norm(self.parameters(), 5.0)
                 if np.isfinite(norm):

@@ -67,10 +67,8 @@ class TACT(Grail):
         weights = Tensor(counts / counts.sum()) * correlation
         return (weights.reshape(1, -1) @ self.relation_context).reshape(self.embedding_dim)
 
-    def _triple_score(self, graph: KnowledgeGraph, triple: Triple) -> Tensor:
-        subgraph = self.gsm.extract(graph, triple)
-        structural = self.gsm.score_subgraph(subgraph)
-
+    def _correlation_score(self, subgraph: ExtractedSubgraph, triple: Triple) -> Tensor:
+        """Relation-correlation score read off an already-extracted subgraph."""
         head_counts = self._subgraph_relation_counts(subgraph, subgraph.head_index())
         tail_counts = self._subgraph_relation_counts(subgraph, subgraph.tail_index())
         head_context = self._adjacent_relation_vector(head_counts, triple.relation)
@@ -80,5 +78,23 @@ class TACT(Grail):
             [head_context.reshape(1, -1), relation_vector.reshape(1, -1), tail_context.reshape(1, -1)],
             axis=1,
         )
-        correlation_score = self.correlation_scorer(correlation_input).reshape(())
-        return structural + correlation_score
+        return self.correlation_scorer(correlation_input).reshape(())
+
+    def _triple_score(self, graph: KnowledgeGraph, triple: Triple) -> Tensor:
+        subgraph = self.gsm.extract(graph, triple)
+        return self.gsm.score_subgraph(subgraph) + self._correlation_score(subgraph, triple)
+
+    def _batch_scores(self, graph: KnowledgeGraph, triples) -> Tensor:
+        """Union-graph structural scores plus stacked correlation terms.
+
+        The R-GCN encoding — the expensive part — runs over chunked
+        block-diagonal union graphs exactly like the Grail parent; only the
+        cheap per-triple relation-correlation read-off stays a Python loop.
+        """
+        subgraphs = [self.gsm.extract(graph, t) for t in triples]
+        structural = self.gsm.score_batch_chunked(subgraphs, [t.relation for t in triples])
+        correlation = F.stack([
+            self._correlation_score(subgraph, triple)
+            for subgraph, triple in zip(subgraphs, triples)
+        ])
+        return structural + correlation

@@ -84,6 +84,14 @@ class TrainingConfig:
     """Positive and negative contrastive examples sampled per entity per batch
     (the paper uses 10 per epoch; smaller by default for CPU-scale runs)."""
 
+    batched: bool = True
+    """Route the ranking loss through the batched scorer
+    (:meth:`~repro.core.model.DEKGILP.forward_batch`): one autodiff graph per
+    batch instead of one per positive/negative triple.  ``False`` falls back
+    to the sequential per-triple path (kept for equivalence testing and
+    benchmarking); both modes draw identical negatives and contrastive pairs
+    under the same seed."""
+
     grad_clip: float = 5.0
     seed: int = 0
     verbose: bool = False

@@ -65,6 +65,10 @@ class DEKGILP(Module):
         self._subgraph_cache: "OrderedDict[tuple, object]" = OrderedDict()
         self._subgraph_cache_limit = 4096
         self._subgraph_cache_snapshot: Optional[object] = None
+        #: Cumulative lookup counters (survive set_context; see
+        #: :meth:`subgraph_cache_stats` / :meth:`reset_subgraph_cache_stats`).
+        self.subgraph_cache_hits = 0
+        self.subgraph_cache_misses = 0
 
     # ------------------------------------------------------------------ #
     # context management
@@ -122,6 +126,32 @@ class DEKGILP(Module):
         with no_grad():
             return float(self.forward(triple).data)
 
+    def forward_batch(self, triples: Sequence[Triple]) -> Tensor:
+        """Differentiable batch score φ = φ_sem + φ_tpo for many triples.
+
+        This is the training-time counterpart of :meth:`score_many`: the same
+        batched compute path (one CLRM fusion/scoring pass, chunked
+        block-diagonal GSM union graphs over cached relation-agnostic
+        extractions) but returning one ``(n,)`` autodiff tensor so a whole
+        batch of positives and negatives backpropagates through a single
+        graph.  With edge dropout disabled it is numerically equivalent to
+        stacking per-triple :meth:`forward` calls; with dropout enabled the
+        masks are drawn per union graph instead of per triple, which is a
+        different (equally valid) sample of the same dropout distribution.
+        """
+        triples = list(triples)
+        if not triples:
+            return Tensor(np.zeros(0))
+        total: Optional[Tensor] = None
+        if self.clrm is not None:
+            total = self.semantic_score_batch(triples)
+        if self.gsm is not None:
+            topological = self.topological_score_batch(triples)
+            total = topological if total is None else total + topological
+        if total is None:  # unreachable under ModelConfig validation
+            total = Tensor(np.zeros(len(triples)))
+        return total
+
     def score_many(self, triples: Sequence[Triple]) -> np.ndarray:
         """Score a batch of candidate triples (used by the ranking evaluator).
 
@@ -138,14 +168,9 @@ class DEKGILP(Module):
         if not triples:
             return np.zeros(0, dtype=np.float64)
         with no_grad():
-            scores = np.zeros(len(triples), dtype=np.float64)
-            if self.clrm is not None:
-                scores += self._semantic_scores_batch(triples)
-            if self.gsm is not None:
-                scores += self._topological_scores_batch(triples)
-        return scores
+            return np.asarray(self.forward_batch(triples).data, dtype=np.float64).copy()
 
-    def _semantic_scores_batch(self, triples: List[Triple]) -> np.ndarray:
+    def semantic_score_batch(self, triples: List[Triple]) -> Tensor:
         """Vectorized φ_sem: one fusion per distinct entity, one scoring pass."""
         entities = sorted({e for t in triples for e in (t.head, t.tail)})
         tables = np.stack([self.tables.table(entity) for entity in entities])
@@ -154,50 +179,34 @@ class DEKGILP(Module):
         head_rows = np.array([row[t.head] for t in triples], dtype=np.int64)
         tail_rows = np.array([row[t.tail] for t in triples], dtype=np.int64)
         relations = [t.relation for t in triples]
-        semantic = self.clrm.score_batch(
+        return self.clrm.score_batch(
             embeddings.gather_rows(head_rows), relations, embeddings.gather_rows(tail_rows))
-        return semantic.data
 
-    def _topological_scores_batch(self, triples: List[Triple],
-                                  max_chunk: int = 64,
-                                  max_chunk_edges: int = 4096) -> np.ndarray:
-        """Batched φ_tpo over cached subgraph extractions.
+    def topological_score_batch(self, triples: List[Triple]) -> Tensor:
+        """Batched φ_tpo over cached subgraph extractions (chunked union graphs).
 
-        Chunks are sized adaptively: many tiny subgraphs are merged into one
-        union graph to amortize per-op overhead, while large subgraphs get
-        small chunks so the union's intermediate arrays stay cache-resident.
+        Extractions are relation-agnostic and cached per ``(head, tail)``
+        pair, so a positive and its tail-corrupted negatives share the head
+        extraction prefix and repeated candidates hit warm entries.  The
+        cached extraction keeps every induced edge; the scored link itself is
+        masked out per candidate when it exists in the context graph (matching
+        what target-aware extraction would have dropped).
         """
         graph = self.context_graph
         subgraphs = [self._cached_subgraph(graph, t.head, t.tail) for t in triples]
-        scores = np.zeros(len(triples), dtype=np.float64)
-        start = 0
-        while start < len(triples):
-            stop = start + 1
-            edge_budget = subgraphs[start].num_edges
-            while (stop < len(triples) and stop - start < max_chunk
-                   and edge_budget + subgraphs[stop].num_edges <= max_chunk_edges):
-                edge_budget += subgraphs[stop].num_edges
-                stop += 1
-            chunk = slice(start, stop)
-            chunk_triples = triples[chunk]
-            chunk_subgraphs = subgraphs[chunk]
-            edges_list = []
-            for subgraph, triple in zip(chunk_subgraphs, chunk_triples):
-                edges = subgraph.edges
-                # The cached extraction keeps every induced edge; drop the
-                # scored link itself when it exists in the context graph.
-                if graph.contains(triple.head, triple.relation, triple.tail):
-                    head_local = subgraph.node_index[triple.head]
-                    tail_local = subgraph.node_index[triple.tail]
-                    keep = ~((edges[:, 0] == head_local)
-                             & (edges[:, 1] == triple.relation)
-                             & (edges[:, 2] == tail_local))
-                    edges = edges[keep]
-                edges_list.append(edges)
-            relations = [t.relation for t in chunk_triples]
-            scores[chunk] = self.gsm.score_batch(chunk_subgraphs, relations, edges_list).data
-            start = stop
-        return scores
+        edges_list = []
+        for subgraph, triple in zip(subgraphs, triples):
+            edges = subgraph.edges
+            if graph.contains(triple.head, triple.relation, triple.tail):
+                head_local = subgraph.node_index[triple.head]
+                tail_local = subgraph.node_index[triple.tail]
+                keep = ~((edges[:, 0] == head_local)
+                         & (edges[:, 1] == triple.relation)
+                         & (edges[:, 2] == tail_local))
+                edges = edges[keep]
+            edges_list.append(edges)
+        relations = [t.relation for t in triples]
+        return self.gsm.score_batch_chunked(subgraphs, relations, edges_list)
 
     def _cached_subgraph(self, graph: KnowledgeGraph, head: int, tail: int):
         # The graph rebuilds its frozen CSR snapshot whenever a triple is
@@ -210,13 +219,35 @@ class DEKGILP(Module):
         key = (head, tail, self.gsm.hops)
         cached = self._subgraph_cache.get(key)
         if cached is not None:
+            self.subgraph_cache_hits += 1
             self._subgraph_cache.move_to_end(key)
             return cached
+        self.subgraph_cache_misses += 1
         subgraph = self.gsm.extract_pair(graph, head, tail)
         self._subgraph_cache[key] = subgraph
         if len(self._subgraph_cache) > self._subgraph_cache_limit:
             self._subgraph_cache.popitem(last=False)
         return subgraph
+
+    def subgraph_cache_stats(self) -> Dict[str, float]:
+        """Cumulative extraction-cache counters and the derived hit rate.
+
+        The counters span the model's lifetime (``set_context`` clears the
+        cache *entries* but not the counters, so cross-split reuse stays
+        visible); :meth:`reset_subgraph_cache_stats` rewinds them.  The hit
+        rate is ``nan`` until the first lookup.
+        """
+        lookups = self.subgraph_cache_hits + self.subgraph_cache_misses
+        return {
+            "hits": float(self.subgraph_cache_hits),
+            "misses": float(self.subgraph_cache_misses),
+            "hit_rate": self.subgraph_cache_hits / lookups if lookups else float("nan"),
+        }
+
+    def reset_subgraph_cache_stats(self) -> None:
+        """Zero the cumulative hit/miss counters (the cache itself is kept)."""
+        self.subgraph_cache_hits = 0
+        self.subgraph_cache_misses = 0
 
     # ------------------------------------------------------------------ #
     # introspection for the case study (Fig. 8)

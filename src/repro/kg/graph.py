@@ -33,6 +33,54 @@ def _ragged_take(offsets: np.ndarray, values: np.ndarray, nodes: np.ndarray) -> 
     return values[index]
 
 
+class TraversalScratch:
+    """Pool of reusable O(num_entities) work arrays for one CSR snapshot.
+
+    Subgraph extraction needs a handful of entity-indexed arrays per call
+    (BFS visited masks, target/forbidden membership masks, a global→local
+    index map).  Allocating them fresh makes every extraction cost
+    O(num_entities) even when the subgraph itself is tiny; borrowing from
+    this pool and resetting only the entries a traversal actually touched
+    keeps the per-call cost proportional to the visited region.
+
+    Protocol: ``borrow_*`` hands out a clean array (boolean masks all
+    ``False``, index maps all ``-1``); the caller must pass every index it
+    wrote to back through the matching ``release_*`` — typically from a
+    ``finally`` block so an exception cannot poison the pool.  Not
+    thread-safe (nothing in this library is); an un-released array is
+    simply dropped and the next borrow allocates a fresh one.
+    """
+
+    def __init__(self, num_nodes: int):
+        self.num_nodes = num_nodes
+        self._bool_masks: List[np.ndarray] = []
+        self._index_maps: List[np.ndarray] = []
+
+    def borrow_mask(self) -> np.ndarray:
+        """A ``(num_nodes,)`` boolean mask, guaranteed all ``False``."""
+        if self._bool_masks:
+            return self._bool_masks.pop()
+        return np.zeros(self.num_nodes, dtype=bool)
+
+    def release_mask(self, mask: np.ndarray, touched: Iterable) -> None:
+        """Return ``mask`` after clearing the ``touched`` indices/arrays."""
+        for entry in touched:
+            mask[entry] = False
+        self._bool_masks.append(mask)
+
+    def borrow_index_map(self) -> np.ndarray:
+        """A ``(num_nodes,)`` int64 map, guaranteed all ``-1``."""
+        if self._index_maps:
+            return self._index_maps.pop()
+        return np.full(self.num_nodes, -1, dtype=np.int64)
+
+    def release_index_map(self, index_map: np.ndarray, touched: Iterable) -> None:
+        """Return ``index_map`` after resetting the ``touched`` entries to -1."""
+        for entry in touched:
+            index_map[entry] = -1
+        self._index_maps.append(index_map)
+
+
 @dataclass(frozen=True)
 class CSRAdjacency:
     """Immutable compressed-sparse-row view of a :class:`KnowledgeGraph`.
@@ -52,6 +100,19 @@ class CSRAdjacency:
     out_offsets: np.ndarray   #: ``(num_nodes + 1,)`` slice bounds into ``out_tails``
     out_tails: np.ndarray     #: flat tail ids of out-edges, grouped by head
     out_relations: np.ndarray  #: relation ids aligned with ``out_tails``
+
+    def scratch(self) -> TraversalScratch:
+        """Lazily-created :class:`TraversalScratch` tied to this snapshot.
+
+        The scratch pool shares the snapshot's lifetime: when graph mutation
+        discards the snapshot, the work arrays (sized to its node count) go
+        with it.
+        """
+        existing = self.__dict__.get("_scratch")
+        if existing is None:
+            existing = TraversalScratch(self.num_nodes)
+            object.__setattr__(self, "_scratch", existing)
+        return existing
 
     def neighbors(self, node: int) -> np.ndarray:
         """Unique undirected neighbors of ``node`` (read-only view)."""

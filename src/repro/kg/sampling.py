@@ -56,5 +56,52 @@ class NegativeSampler:
         return negatives
 
     def sample_batch(self, triples: Sequence[Triple]) -> List[List[Triple]]:
-        """Vector of negative lists, one list per positive triple."""
-        return [self.sample(triple) for triple in triples]
+        """Vector of negative lists, one list per positive triple.
+
+        All ``len(triples) * num_negatives`` corruptions are drawn in one RNG
+        call (one coin-flip array choosing the corrupted side, one replacement
+        array), then corruptions that happen to be known facts are resampled
+        in vectorized rounds over the shrinking offender set — up to
+        ``max_attempts`` rounds, after which the last candidates are accepted
+        to guarantee termination.  Deterministic per seed, but note the RNG
+        stream differs from an equivalent sequence of :meth:`sample` calls.
+        """
+        triples = list(triples)
+        if not triples:
+            return []
+        num_positives = len(triples)
+        total = num_positives * self.num_negatives
+        heads = np.repeat(np.fromiter((t.head for t in triples), dtype=np.int64,
+                                      count=num_positives), self.num_negatives)
+        relations = np.repeat(np.fromiter((t.relation for t in triples), dtype=np.int64,
+                                          count=num_positives), self.num_negatives)
+        tails = np.repeat(np.fromiter((t.tail for t in triples), dtype=np.int64,
+                                      count=num_positives), self.num_negatives)
+
+        def draw(size: int) -> tuple[np.ndarray, np.ndarray]:
+            corrupt_head = self._rng.integers(0, 2, size=size).astype(bool)
+            replacements = self._rng.choice(self._candidates, size=size)
+            return corrupt_head, replacements
+
+        corrupt_head, replacements = draw(total)
+        new_heads = np.where(corrupt_head, replacements, heads)
+        new_tails = np.where(corrupt_head, tails, replacements)
+        # Only the freshly-redrawn candidates need re-checking each round.
+        suspects = np.arange(total)
+        for _ in range(self.max_attempts):
+            bad = np.fromiter(
+                (self.graph.contains(int(new_heads[i]), int(relations[i]), int(new_tails[i]))
+                 for i in suspects),
+                dtype=bool, count=suspects.size)
+            offenders = suspects[bad]
+            if offenders.size == 0:
+                break
+            corrupt_head, replacements = draw(offenders.size)
+            new_heads[offenders] = np.where(corrupt_head, replacements, heads[offenders])
+            new_tails[offenders] = np.where(corrupt_head, tails[offenders], replacements)
+            suspects = offenders
+
+        flat = [Triple(int(h), int(r), int(t))
+                for h, r, t in zip(new_heads, relations, new_tails)]
+        return [flat[i:i + self.num_negatives]
+                for i in range(0, total, self.num_negatives)]

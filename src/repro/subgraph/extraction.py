@@ -84,23 +84,28 @@ def collect_induced_edges(graph: KnowledgeGraph, nodes: List[int],
     pass and keeps the edges whose tail is also retained; the ``target`` link
     itself (if present in the graph) is dropped.  Edge order matches the
     historical per-node iteration: ascending head id, insertion order within
-    one head.
+    one head.  The global→local index map is borrowed from the snapshot's
+    scratch pool and reset output-sensitively.
     """
     if not nodes:
         return np.zeros((0, 3), dtype=np.int64)
     adjacency = graph.adjacency()
     nodes_arr = np.fromiter(nodes, dtype=np.int64, count=len(nodes))
-    local = np.full(graph.num_entities, -1, dtype=np.int64)
-    local[nodes_arr] = np.array([node_index[int(n)] for n in nodes_arr], dtype=np.int64)
-    heads, relations, tails = adjacency.out_edges_of_many(nodes_arr)
-    keep = local[tails] >= 0
-    if target is not None:
-        keep &= ~((heads == target.head)
-                  & (relations == target.relation)
-                  & (tails == target.tail))
-    if not keep.any():
-        return np.zeros((0, 3), dtype=np.int64)
-    return np.column_stack([local[heads[keep]], relations[keep], local[tails[keep]]])
+    scratch = adjacency.scratch()
+    local = scratch.borrow_index_map()
+    try:
+        local[nodes_arr] = np.array([node_index[int(n)] for n in nodes_arr], dtype=np.int64)
+        heads, relations, tails = adjacency.out_edges_of_many(nodes_arr)
+        keep = local[tails] >= 0
+        if target is not None:
+            keep &= ~((heads == target.head)
+                      & (relations == target.relation)
+                      & (tails == target.tail))
+        if not keep.any():
+            return np.zeros((0, 3), dtype=np.int64)
+        return np.column_stack([local[heads[keep]], relations[keep], local[tails[keep]]])
+    finally:
+        scratch.release_index_map(local, [nodes_arr])
 
 
 def extract_enclosing_subgraph(graph: KnowledgeGraph, target: Triple, hops: int = 2,

@@ -4,25 +4,32 @@ Both traversals run level-synchronously on the graph's frozen CSR adjacency
 snapshot (:meth:`repro.kg.graph.KnowledgeGraph.adjacency`): each hop gathers
 the concatenated neighbor lists of the whole frontier in a handful of numpy
 operations instead of looping over Python sets node by node.
+
+The entity-indexed work arrays (visited/seen masks, target and forbidden
+membership masks) are borrowed from the snapshot's
+:class:`~repro.kg.graph.TraversalScratch` pool and reset output-sensitively —
+only the entries a traversal actually touched are cleared on release — so
+extraction cost scales with the visited region, not with ``num_entities``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
 
 
-def _membership_mask(ids: Optional[Iterable[int]], size: int) -> np.ndarray:
-    """Boolean mask of ``size`` with ``ids`` set (out-of-range ids ignored)."""
-    mask = np.zeros(size, dtype=bool)
-    if ids:
-        arr = np.fromiter((int(i) for i in ids), dtype=np.int64)
-        arr = arr[(arr >= 0) & (arr < size)]
-        mask[arr] = True
-    return mask
+def _mark_members(mask: np.ndarray, ids: Optional[Iterable[int]],
+                  touched: List) -> None:
+    """Set ``mask[ids]`` (out-of-range ids ignored) and record the writes."""
+    if not ids:
+        return
+    arr = np.fromiter((int(i) for i in ids), dtype=np.int64)
+    arr = arr[(arr >= 0) & (arr < mask.shape[0])]
+    mask[arr] = True
+    touched.append(arr)
 
 
 def k_hop_neighborhood(graph: KnowledgeGraph, entity: int, hops: int,
@@ -39,23 +46,28 @@ def k_hop_neighborhood(graph: KnowledgeGraph, entity: int, hops: int,
     if not 0 <= entity < num_entities:
         return {entity}
     adjacency = graph.adjacency()
-    visited = np.zeros(num_entities, dtype=bool)
-    visited[entity] = True
-    if exclude:
-        visited |= _membership_mask(exclude, num_entities)
-    result = {int(entity)}
-    frontier = np.array([entity], dtype=np.int64)
-    for _ in range(hops):
-        neighbors = adjacency.neighbors_of_many(frontier)
-        if neighbors.size == 0:
-            break
-        neighbors = np.unique(neighbors)
-        frontier = neighbors[~visited[neighbors]]
-        if frontier.size == 0:
-            break
-        visited[frontier] = True
-        result.update(int(n) for n in frontier)
-    return result
+    scratch = adjacency.scratch()
+    visited = scratch.borrow_mask()
+    touched: List = [entity]
+    try:
+        visited[entity] = True
+        _mark_members(visited, exclude, touched)
+        result = {int(entity)}
+        frontier = np.array([entity], dtype=np.int64)
+        for _ in range(hops):
+            neighbors = adjacency.neighbors_of_many(frontier)
+            if neighbors.size == 0:
+                break
+            neighbors = np.unique(neighbors)
+            frontier = neighbors[~visited[neighbors]]
+            if frontier.size == 0:
+                break
+            visited[frontier] = True
+            touched.append(frontier)
+            result.update(int(n) for n in frontier)
+        return result
+    finally:
+        scratch.release_mask(visited, touched)
 
 
 def shortest_path_lengths(graph: KnowledgeGraph, source: int,
@@ -76,24 +88,36 @@ def shortest_path_lengths(graph: KnowledgeGraph, source: int,
     if not 0 <= source < num_entities:
         return distances
     adjacency = graph.adjacency()
-    is_target = _membership_mask(target_set, num_entities)
-    blocked = _membership_mask(forbidden, num_entities)
-    seen = np.zeros(num_entities, dtype=bool)
-    seen[source] = True
-    # The source always expands, even if listed as forbidden.
-    frontier = np.array([source], dtype=np.int64)
-    for distance in range(1, max_distance + 1):
-        neighbors = adjacency.neighbors_of_many(frontier)
-        if neighbors.size == 0:
-            break
-        neighbors = np.unique(neighbors)
-        reached = neighbors[~seen[neighbors]]
-        if reached.size == 0:
-            break
-        seen[reached] = True
-        for node in reached[is_target[reached]]:
-            distances[int(node)] = distance
-        frontier = reached[~blocked[reached]]
-        if frontier.size == 0:
-            break
-    return distances
+    scratch = adjacency.scratch()
+    is_target = scratch.borrow_mask()
+    blocked = scratch.borrow_mask()
+    seen = scratch.borrow_mask()
+    target_touched: List = []
+    blocked_touched: List = []
+    seen_touched: List = [source]
+    try:
+        _mark_members(is_target, target_set, target_touched)
+        _mark_members(blocked, forbidden, blocked_touched)
+        seen[source] = True
+        # The source always expands, even if listed as forbidden.
+        frontier = np.array([source], dtype=np.int64)
+        for distance in range(1, max_distance + 1):
+            neighbors = adjacency.neighbors_of_many(frontier)
+            if neighbors.size == 0:
+                break
+            neighbors = np.unique(neighbors)
+            reached = neighbors[~seen[neighbors]]
+            if reached.size == 0:
+                break
+            seen[reached] = True
+            seen_touched.append(reached)
+            for node in reached[is_target[reached]]:
+                distances[int(node)] = distance
+            frontier = reached[~blocked[reached]]
+            if frontier.size == 0:
+                break
+        return distances
+    finally:
+        scratch.release_mask(seen, seen_touched)
+        scratch.release_mask(blocked, blocked_touched)
+        scratch.release_mask(is_target, target_touched)
