@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from common import EMBEDDING_DIM, EPOCHS, MAX_CANDIDATES, MAX_TEST_TRIPLES, bench_datasets, get_dataset, print_banner
+from common import EMBEDDING_DIM, EPOCHS, EVAL_WORKERS, MAX_CANDIDATES, MAX_TEST_TRIPLES, bench_datasets, get_dataset, print_banner
 from repro.core.config import ModelConfig, TrainingConfig
 from repro.core.model import DEKGILP
 from repro.core.trainer import Trainer
@@ -40,7 +40,8 @@ def test_extension_ablations(benchmark):
     """Evaluate the GSM design-choice variants on the first dataset in scope."""
     dataset_name = bench_datasets()[0]
     dataset = get_dataset(dataset_name, "EQ")
-    evaluator = Evaluator(dataset, max_candidates=MAX_CANDIDATES, seed=0)
+    evaluator = Evaluator(dataset, max_candidates=MAX_CANDIDATES, seed=0,
+                          workers=EVAL_WORKERS)
     test_triples = dataset.test_triples
     if MAX_TEST_TRIPLES is not None:
         test_triples = test_triples[:MAX_TEST_TRIPLES]

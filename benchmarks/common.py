@@ -36,6 +36,9 @@ MAX_CANDIDATES = 50 if FULL_SWEEP else 25
 MAX_TEST_TRIPLES = None if FULL_SWEEP else 30
 #: Embedding dimension (the paper's optimal configuration uses 32).
 EMBEDDING_DIM = 32 if FULL_SWEEP else 16
+#: Worker processes for evaluation sharding (metrics are identical for any
+#: worker count, so this is purely a wall-clock knob for multi-core machines).
+EVAL_WORKERS = int(os.environ.get("REPRO_BENCH_EVAL_WORKERS", "1"))
 
 #: Models of Table III, in the paper's row order.
 TABLE3_MODELS = ["TransE", "RotatE", "ConvE", "GEN", "RuleN", "Grail", "TACT", "DEKG-ILP"]
@@ -77,7 +80,8 @@ def get_evaluation(model_name: str, dataset_name: str, split: str,
     """Train + evaluate (cached) one model on one dataset."""
     dataset = get_dataset(dataset_name, split, seed)
     model = get_trained_model(model_name, dataset_name, split, seed)
-    evaluator = Evaluator(dataset, max_candidates=MAX_CANDIDATES, seed=seed)
+    evaluator = Evaluator(dataset, max_candidates=MAX_CANDIDATES, seed=seed,
+                          workers=EVAL_WORKERS)
     test_triples = dataset.test_triples
     if MAX_TEST_TRIPLES is not None:
         test_triples = test_triples[:MAX_TEST_TRIPLES]

@@ -48,6 +48,9 @@ def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--embedding-dim", type=int, default=32)
     parser.add_argument("--max-candidates", type=int, default=30,
                         help="corrupted candidates per test triple and prediction form")
+    parser.add_argument("--eval-workers", type=int, default=1,
+                        help="worker processes for evaluation sharding (1 = in-process; "
+                             "metrics are identical for any worker count)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,7 +103,8 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     dataset = build_benchmark(args.name, args.split, seed=args.seed, scale=args.scale)
     model = train_model(args.model, dataset, epochs=args.epochs,
                         embedding_dim=args.embedding_dim, seed=args.seed)
-    evaluator = Evaluator(dataset, max_candidates=args.max_candidates, seed=args.seed)
+    evaluator = Evaluator(dataset, max_candidates=args.max_candidates, seed=args.seed,
+                          workers=args.eval_workers)
     result = evaluator.evaluate(model, model_name=args.model)
     for scope in ("overall", "enclosing", "bridging"):
         rows = results_to_rows([result], scope=scope)
@@ -111,7 +115,8 @@ def _command_evaluate(args: argparse.Namespace) -> int:
 
 def _command_compare(args: argparse.Namespace) -> int:
     dataset = build_benchmark(args.name, args.split, seed=args.seed, scale=args.scale)
-    evaluator = Evaluator(dataset, max_candidates=args.max_candidates, seed=args.seed)
+    evaluator = Evaluator(dataset, max_candidates=args.max_candidates, seed=args.seed,
+                          workers=args.eval_workers)
     results = []
     for model_name in args.models:
         print(f"training {model_name} ...", file=sys.stderr)

@@ -8,6 +8,7 @@ contrastive loss coefficient ``σ = 0.1``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 
 @dataclass
@@ -65,6 +66,53 @@ class ModelConfig:
             raise ValueError("edge_dropout must be in [0, 1)")
         if self.subgraph_hops < 1:
             raise ValueError("subgraph_hops must be >= 1")
+
+
+#: Prediction forms the filtered-ranking protocol understands.
+VALID_PREDICTION_FORMS = ("head", "tail", "relation")
+
+
+@dataclass
+class EvalConfig:
+    """Hyper-parameters of the filtered-ranking evaluation protocol (§V-C)."""
+
+    forms: Tuple[str, ...] = ("head", "tail")
+    """Prediction forms to rank; the paper uses head, tail and relation."""
+
+    max_candidates: Optional[int] = 50
+    """Corrupted candidates per (triple, form); ``None`` ranks the full set."""
+
+    hits_levels: Tuple[int, ...] = (1, 5, 10)
+    """The N values reported as Hits@N."""
+
+    seed: int = 0
+    """Base seed of the counter-seeded candidate draws.  Each (triple, form)
+    pair derives its own generator from ``(seed, triple_index, form_index)``,
+    so candidate sets do not depend on evaluation order or worker count."""
+
+    workers: int = 1
+    """Worker processes for evaluation sharding.  ``1`` ranks in-process;
+    ``N > 1`` splits the (triple, form) work list into contiguous shards and
+    fans them out over ``N`` spawned processes, each holding its own model
+    replica.  Results are bit-identical across worker counts."""
+
+    def __post_init__(self):
+        self.forms = tuple(self.forms)
+        self.hits_levels = tuple(self.hits_levels)
+        for form in self.forms:
+            if form not in VALID_PREDICTION_FORMS:
+                raise ValueError(
+                    f"unknown prediction form {form!r}; choose from {VALID_PREDICTION_FORMS}")
+        if not self.forms:
+            raise ValueError("at least one prediction form is required")
+        if self.max_candidates is not None and self.max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1 or None")
+        if any(level < 1 for level in self.hits_levels):
+            raise ValueError("hits levels must be >= 1")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
 
 @dataclass

@@ -1,18 +1,25 @@
 """Saving and loading trained DEKG-ILP models.
 
-A checkpoint is a single ``.npz`` file holding every parameter array plus a
-JSON-encoded header with the model configuration, so that
+A checkpoint is a single ``.npz`` payload holding every parameter array plus
+a JSON-encoded header with the model configuration, so that
 :func:`load_model` can rebuild an identical architecture before restoring the
 weights.  The context graph is *not* stored — it is data, not model state —
 so callers re-bind it with :meth:`DEKGILP.set_context` after loading.
+
+Checkpoints can live on disk (:func:`save_model` / :func:`load_model`) or in
+memory (:func:`model_to_bytes` / :func:`model_from_bytes`).  The in-memory
+form is what the multiprocess evaluation shards use to ship a model replica
+to spawned workers: the parent serializes once, every worker rebuilds its own
+replica, and no autodiff graph state ever crosses the process boundary.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import io
 import json
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
@@ -25,11 +32,8 @@ _HEADER_KEY = "__header__"
 _FORMAT_VERSION = 1
 
 
-def save_model(model: DEKGILP, path: PathLike) -> Path:
-    """Write ``model``'s configuration and parameters to ``path`` (``.npz``)."""
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
+def _checkpoint_arrays(model: DEKGILP) -> Dict[str, np.ndarray]:
+    """The npz payload: every parameter plus the JSON header array."""
     header = {
         "format_version": _FORMAT_VERSION,
         "num_relations": model.num_relations,
@@ -38,8 +42,31 @@ def save_model(model: DEKGILP, path: PathLike) -> Path:
     }
     arrays = {name: value for name, value in model.state_dict().items()}
     arrays[_HEADER_KEY] = np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    return arrays
+
+
+def _model_from_archive(archive, source: str, seed: int) -> DEKGILP:
+    """Rebuild a model from an open npz archive (header + parameter arrays)."""
+    if _HEADER_KEY not in archive:
+        raise ValueError(f"{source} is not a repro model checkpoint (missing header)")
+    header = json.loads(bytes(archive[_HEADER_KEY].tolist()).decode("utf-8"))
+    if header.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint format version {header.get('format_version')}")
+    config = ModelConfig(**header["config"])
+    model = DEKGILP(int(header["num_relations"]), config=config, seed=seed)
+    state = {name: archive[name] for name in archive.files if name != _HEADER_KEY}
+    model.load_state_dict(state)
+    model.eval()
+    return model
+
+
+def save_model(model: DEKGILP, path: PathLike) -> Path:
+    """Write ``model``'s configuration and parameters to ``path`` (``.npz``)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **arrays)
+    np.savez(path, **_checkpoint_arrays(model))
     return path
 
 
@@ -47,14 +74,17 @@ def load_model(path: PathLike, seed: int = 0) -> DEKGILP:
     """Rebuild a DEKG-ILP model from a checkpoint written by :func:`save_model`."""
     path = Path(path)
     with np.load(path) as archive:
-        if _HEADER_KEY not in archive:
-            raise ValueError(f"{path} is not a repro model checkpoint (missing header)")
-        header = json.loads(bytes(archive[_HEADER_KEY].tolist()).decode("utf-8"))
-        if header.get("format_version") != _FORMAT_VERSION:
-            raise ValueError(f"unsupported checkpoint format version {header.get('format_version')}")
-        config = ModelConfig(**header["config"])
-        model = DEKGILP(int(header["num_relations"]), config=config, seed=seed)
-        state = {name: archive[name] for name in archive.files if name != _HEADER_KEY}
-    model.load_state_dict(state)
-    model.eval()
-    return model
+        return _model_from_archive(archive, str(path), seed)
+
+
+def model_to_bytes(model: DEKGILP) -> bytes:
+    """Serialize ``model`` to an in-memory checkpoint (same format as disk)."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **_checkpoint_arrays(model))
+    return buffer.getvalue()
+
+
+def model_from_bytes(payload: bytes, seed: int = 0) -> DEKGILP:
+    """Rebuild a DEKG-ILP model from :func:`model_to_bytes` output."""
+    with np.load(io.BytesIO(payload)) as archive:
+        return _model_from_archive(archive, "<bytes>", seed)

@@ -1,8 +1,8 @@
 """Evaluation protocol: filtered ranking, MRR/Hits@N, complexity and case study."""
 
 from repro.eval.metrics import RankingMetrics, mean_reciprocal_rank, hits_at
-from repro.eval.ranking import rank_candidates, filtered_candidates
-from repro.eval.evaluator import EvaluationResult, Evaluator
+from repro.eval.ranking import rank_candidates, filtered_candidates, candidate_rng
+from repro.eval.evaluator import EvaluationResult, Evaluator, ShardWorkload
 from repro.eval.complexity import ComplexityReport, measure_complexity, parameter_formula
 from repro.eval.case_study import embedding_heatmap, case_study
 from repro.eval.reporting import format_table, results_to_rows
@@ -13,8 +13,10 @@ __all__ = [
     "hits_at",
     "rank_candidates",
     "filtered_candidates",
+    "candidate_rng",
     "EvaluationResult",
     "Evaluator",
+    "ShardWorkload",
     "ComplexityReport",
     "measure_complexity",
     "parameter_formula",

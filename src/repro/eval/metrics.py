@@ -62,7 +62,19 @@ class RankingMetrics:
         return result
 
     def merge(self, other: "RankingMetrics") -> "RankingMetrics":
-        """Return a new accumulator containing both rank collections."""
+        """Return a new accumulator containing both rank collections.
+
+        This is the reduction used to combine per-shard accumulators after
+        multiprocess evaluation: it is associative, and an empty accumulator
+        is its identity element, so contiguous shards merged in order yield
+        exactly the rank list a sequential run would have produced.  Both
+        operands must report the same Hits@N levels — silently keeping one
+        side's levels would change what ``summary()`` means.
+        """
+        if tuple(self.hits_levels) != tuple(other.hits_levels):
+            raise ValueError(
+                f"cannot merge RankingMetrics with different hits levels: "
+                f"{tuple(self.hits_levels)} vs {tuple(other.hits_levels)}")
         merged = RankingMetrics(hits_levels=self.hits_levels)
         merged.ranks = list(self.ranks) + list(other.ranks)
         return merged

@@ -39,18 +39,20 @@ class MultiRunResult:
 
 def run_with_seeds(model_name: str, dataset: BenchmarkDataset, seeds: Sequence[int] = (0, 1, 2),
                    epochs: int = 2, embedding_dim: int = 32,
-                   max_candidates: int = 25) -> MultiRunResult:
+                   max_candidates: int = 25, workers: int = 1) -> MultiRunResult:
     """Train and evaluate ``model_name`` once per seed and aggregate the metrics.
 
     Mirrors the paper's protocol of running every model five times with
     different random seeds and reporting the average (§V-C); the number of
-    seeds is configurable to fit CPU budgets.
+    seeds is configurable to fit CPU budgets.  ``workers > 1`` shards each
+    evaluation across processes without changing any reported number.
     """
     per_scope_values: Dict[str, Dict[str, List[float]]] = {}
     for seed in seeds:
         model = train_model(model_name, dataset, epochs=epochs,
                             embedding_dim=embedding_dim, seed=seed)
-        evaluator = Evaluator(dataset, max_candidates=max_candidates, seed=seed)
+        evaluator = Evaluator(dataset, max_candidates=max_candidates, seed=seed,
+                              workers=workers)
         result = evaluator.evaluate(model, model_name=model_name)
         for scope, metrics in result.summary().items():
             scope_store = per_scope_values.setdefault(scope, {})

@@ -19,6 +19,22 @@ from repro.kg.triple import Triple
 PredictionForm = str  # "head" | "tail" | "relation"
 
 
+def candidate_rng(seed: int, triple_index: int, form_index: int) -> np.random.Generator:
+    """Counter-seeded generator for one (test triple, prediction form) pair.
+
+    Candidate subsampling must not depend on *when* a pair is ranked, only on
+    *which* pair it is: a shared generator consumed sequentially would hand
+    model B different corruptions than model A (the draws shift with every
+    prior call) and would make multiprocess sharding order-dependent.  Seeding
+    from the ``(seed, triple_index, form_index)`` counter instead makes the
+    candidate set a pure function of the pair, so it is byte-identical across
+    models, worker counts and evaluation order.
+    """
+    if seed < 0 or triple_index < 0 or form_index < 0:
+        raise ValueError("candidate_rng components must be non-negative")
+    return np.random.default_rng(np.random.SeedSequence((seed, triple_index, form_index)))
+
+
 def filtered_candidates(triple: Triple, form: PredictionForm,
                         entity_candidates: Sequence[int],
                         relation_candidates: Sequence[int],

@@ -1,0 +1,152 @@
+"""Multiprocess evaluation sharding.
+
+The filtered-ranking work list — every (test triple, prediction form) pair —
+is embarrassingly parallel: items share no state beyond the read-only context
+graph and candidate pools, and per-model subgraph caches shard cleanly
+because each worker holds its own model replica.  This module fans contiguous
+slices of the work list out across ``multiprocessing`` workers and reduces
+the per-shard :class:`~repro.eval.evaluator.EvaluationResult` partials back
+into one result.
+
+Three properties make the fan-out deterministic and spawn-safe:
+
+* **Counter-seeded candidate draws.**  Corruptions are a pure function of
+  ``(seed, triple_index, form_index)`` (see
+  :func:`repro.eval.ranking.candidate_rng`), so a shard ranks the same
+  candidates no matter which worker runs it, or whether it runs in-process.
+* **Contiguous shards, ordered reduce.**  Shards are contiguous slices of
+  the triple-major work list and are merged left-to-right, so the reduced
+  rank lists — and therefore every metric, bit for bit — equal the
+  sequential run's.
+* **Replicas travel as bytes, not live objects.**  A DEKG-ILP model is
+  round-tripped through its :mod:`repro.core.persistence` checkpoint format
+  (autodiff graph state never crosses the process boundary); any other model
+  implementing the ``set_context`` / ``score_many`` protocol is pickled.
+  Workers rebuild the replica once in their initializer and re-bind the
+  context graph with ``set_context``.
+
+The ``spawn`` start method is used unconditionally: it is the only method
+available everywhere, and it guarantees workers import a fresh interpreter
+instead of inheriting arbitrary parent state via fork.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from functools import reduce
+from multiprocessing import get_context
+from typing import List, Tuple
+
+from repro.eval.evaluator import EvaluationResult, ShardWorkload
+from repro.kg.graph import KnowledgeGraph
+
+#: Shards per worker.  Item costs vary (subgraph sizes differ wildly between
+#: hub and leaf entities), so handing each worker several smaller shards lets
+#: the pool rebalance; contiguity per shard keeps the ordered reduce exact.
+SHARDS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A picklable recipe for rebuilding one model replica in a worker."""
+
+    kind: str          #: "checkpoint" (DEKG-ILP npz bytes) or "pickle"
+    payload: bytes
+
+
+def make_model_spec(model) -> ModelSpec:
+    """Serialize ``model`` into a spec a spawned worker can rebuild from.
+
+    DEKG-ILP goes through the persistence checkpoint (exact parameter
+    round-trip, no autodiff closures); everything else must pickle.  The
+    caller (:meth:`Evaluator.evaluate`) guarantees the model is in eval
+    mode: a training-mode model draws dropout from a mid-stream RNG that a
+    freshly rebuilt replica cannot reproduce, which would silently break the
+    bit-identity guarantee, so sharded evaluation refuses it up front.
+    """
+    from repro.core.model import DEKGILP
+    from repro.core.persistence import model_to_bytes
+
+    if isinstance(model, DEKGILP):
+        return ModelSpec(kind="checkpoint", payload=model_to_bytes(model))
+    try:
+        return ModelSpec(kind="pickle", payload=pickle.dumps(model))
+    except Exception as exc:
+        raise TypeError(
+            f"cannot ship {type(model).__name__} to evaluation workers: it is "
+            f"neither a DEKGILP (checkpointable) nor picklable ({exc}); "
+            f"evaluate with workers=1 instead") from exc
+
+
+def restore_model(spec: ModelSpec):
+    """Rebuild the replica described by ``spec`` (worker-side, eval mode)."""
+    if spec.kind == "checkpoint":
+        from repro.core.persistence import model_from_bytes
+
+        model = model_from_bytes(spec.payload)
+    else:
+        model = pickle.loads(spec.payload)
+    if hasattr(model, "eval"):
+        model.eval()
+    return model
+
+
+def contiguous_shards(num_items: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Split ``[0, num_items)`` into at most ``num_shards`` contiguous ranges.
+
+    Sizes differ by at most one and order is preserved, so concatenating the
+    shard results reproduces the unsharded item order exactly.
+    """
+    num_shards = max(1, min(num_shards, num_items))
+    base, extra = divmod(num_items, num_shards)
+    bounds = []
+    start = 0
+    for index in range(num_shards):
+        stop = start + base + (1 if index < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+# --------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------- #
+#: (model, workload) installed by the pool initializer; one per worker
+#: process, rebuilt on spawn, never shared.
+_WORKER_STATE = None
+
+
+def _init_worker(spec: ModelSpec, workload: ShardWorkload, context_graph: KnowledgeGraph) -> None:
+    global _WORKER_STATE
+    model = restore_model(spec)
+    model.set_context(context_graph)
+    _WORKER_STATE = (model, workload)
+
+
+def _run_shard(bounds: Tuple[int, int]) -> EvaluationResult:
+    model, workload = _WORKER_STATE
+    return workload.run(model, bounds[0], bounds[1])
+
+
+# --------------------------------------------------------------------- #
+# parent side
+# --------------------------------------------------------------------- #
+def evaluate_sharded(model, workload: ShardWorkload, context_graph: KnowledgeGraph,
+                     workers: int) -> EvaluationResult:
+    """Rank ``workload`` across ``workers`` processes and reduce the partials.
+
+    The caller guarantees ``workers >= 2`` and a non-empty workload.  The
+    model is serialized once; each worker rebuilds its replica in the pool
+    initializer and then ranks several contiguous shards.  ``pool.map``
+    returns shard results in submission order, so the left-to-right merge
+    yields rank lists identical to a sequential run.
+    """
+    workers = min(workers, workload.num_items)
+    spec = make_model_spec(model)
+    bounds = contiguous_shards(workload.num_items, workers * SHARDS_PER_WORKER)
+    spawn = get_context("spawn")
+    with spawn.Pool(processes=workers, initializer=_init_worker,
+                    initargs=(spec, workload, context_graph)) as pool:
+        partials = pool.map(_run_shard, bounds)
+    return reduce(lambda left, right: left.merge(right), partials)

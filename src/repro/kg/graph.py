@@ -349,3 +349,16 @@ class KnowledgeGraph:
         """Deep copy of the graph structure (vocabulary is shared)."""
         return KnowledgeGraph(self.num_entities, self.num_relations,
                               self._triples, self.vocabulary)
+
+    def __reduce__(self):
+        """Pickle as (shape, triples, vocabulary); indexes rebuild on load.
+
+        The per-entity relation-count index uses a lambda default factory,
+        which the default pickle machinery rejects — and shipping derived
+        indexes (adjacency dicts, the CSR snapshot, its scratch pool) across
+        a process boundary would be wasted bytes anyway, since reconstruction
+        from the triple list is deterministic and cheap.  This is what makes
+        evaluation-shard workers able to receive the context graph at all.
+        """
+        return (KnowledgeGraph,
+                (self.num_entities, self.num_relations, self._triples, self.vocabulary))
