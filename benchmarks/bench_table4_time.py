@@ -19,7 +19,7 @@ from repro.core.config import ModelConfig, TrainingConfig
 from repro.core.model import DEKGILP
 from repro.core.trainer import Trainer
 from repro.eval.reporting import format_table
-from repro.utils.experiments import train_model
+from repro.experiment import train_model
 
 
 def _time_one_epoch(model_name: str, dataset) -> float:

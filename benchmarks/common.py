@@ -22,7 +22,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.datasets.benchmark import BenchmarkDataset, build_benchmark, dataset_names, split_names
 from repro.eval.evaluator import EvaluationResult, Evaluator
-from repro.utils.experiments import train_model
+from repro.experiment import train_model
 
 FULL_SWEEP = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 

@@ -7,6 +7,9 @@ benchmark datasets (synthetic stand-ins for FB15k-237 / NELL-995 / WN18RR
 inductive splits) and the evaluation protocol (filtered MRR / Hits@N over
 enclosing and bridging links).
 
+Every model lives in one registry (:mod:`repro.registry`) and every run is
+described by one serializable config (:mod:`repro.experiment`):
+
 Quickstart
 ----------
 >>> from repro import build_benchmark, train_model, Evaluator
@@ -15,22 +18,40 @@ Quickstart
 >>> result = Evaluator(dataset, max_candidates=10).evaluate(model)
 >>> 0.0 <= result.metric("MRR") <= 1.0
 True
+
+or, config-driven (what ``python -m repro run --config exp.json`` executes):
+
+>>> from repro import Experiment, ExperimentConfig
+>>> cfg = ExperimentConfig.default("DEKG-ILP")
+>>> cfg == ExperimentConfig.from_dict(cfg.to_dict())
+True
 """
 
 from repro.core import DEKGILP, ModelConfig, TrainingConfig, Trainer
+from repro.core.config import EvalConfig
+from repro.core.persistence import Checkpointable, load_model, save_model
 from repro.core.pipeline import LinkPredictionPipeline
 from repro.datasets import build_benchmark, BenchmarkDataset, dataset_names, split_names
 from repro.eval import Evaluator, EvaluationResult
+from repro.experiment import (available_models, DatasetSection, Experiment,
+                              ExperimentConfig, ExperimentRun, ModelSection,
+                              train_model)
 from repro.kg import KnowledgeGraph, Triple, Vocabulary, build_inductive_split
-from repro.utils import train_model, available_models, set_global_seed
+from repro.registry import (build_model, get_spec, model_names, ModelSpec,
+                            register_model, registered_models)
+from repro.utils import set_global_seed
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEKGILP",
     "ModelConfig",
     "TrainingConfig",
+    "EvalConfig",
     "Trainer",
+    "Checkpointable",
+    "save_model",
+    "load_model",
     "LinkPredictionPipeline",
     "build_benchmark",
     "BenchmarkDataset",
@@ -38,10 +59,21 @@ __all__ = [
     "split_names",
     "Evaluator",
     "EvaluationResult",
+    "DatasetSection",
+    "ModelSection",
+    "ExperimentConfig",
+    "Experiment",
+    "ExperimentRun",
     "KnowledgeGraph",
     "Triple",
     "Vocabulary",
     "build_inductive_split",
+    "ModelSpec",
+    "register_model",
+    "registered_models",
+    "model_names",
+    "get_spec",
+    "build_model",
     "train_model",
     "available_models",
     "set_global_seed",

@@ -23,6 +23,7 @@ from repro.autodiff.layers import Embedding
 from repro.autodiff.module import Module
 from repro.autodiff.optim import Adam, clip_grad_norm
 from repro.autodiff.tensor import Tensor, no_grad
+from repro.core.persistence import CheckpointableModule
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.sampling import NegativeSampler
 from repro.kg.triple import Triple
@@ -54,7 +55,7 @@ class LinkPredictor(abc.ABC):
         """Number of learned scalar parameters (for the complexity study)."""
 
 
-class EmbeddingModel(LinkPredictor, Module, abc.ABC):
+class EmbeddingModel(CheckpointableModule, LinkPredictor, Module, abc.ABC):
     """Shared training loop for entity-embedding (transductive) baselines."""
 
     name = "embedding-model"
@@ -72,6 +73,11 @@ class EmbeddingModel(LinkPredictor, Module, abc.ABC):
         self.num_negatives = num_negatives
         self.batch_size = batch_size
         self.seed = seed
+        self._checkpoint_init = dict(
+            num_entities=num_entities, num_relations=num_relations,
+            embedding_dim=embedding_dim, margin=margin,
+            learning_rate=learning_rate, num_negatives=num_negatives,
+            batch_size=batch_size, seed=seed)
         self._rng = np.random.default_rng(seed)
         self.entity_embeddings = Embedding(num_entities, self.entity_dim(), rng=self._rng)
         self.relation_embeddings = Embedding(num_relations, self.relation_dim(), rng=self._rng)
@@ -157,3 +163,14 @@ class EmbeddingModel(LinkPredictor, Module, abc.ABC):
 
     def num_parameters(self) -> int:
         return Module.num_parameters(self)
+
+    # ------------------------------------------------------------------ #
+    # Checkpointable extras: which entities were seen during training is
+    # learned state (GEN's inductive aggregation branches on it), so it
+    # rides along in the checkpoint header.
+    # ------------------------------------------------------------------ #
+    def _checkpoint_extra(self) -> Dict[str, object]:
+        return {"trained_entities": sorted(int(e) for e in self._trained_entities)}
+
+    def _restore_checkpoint_extra(self, extra: Dict[str, object]) -> None:
+        self._trained_entities = {int(e) for e in extra.get("trained_entities", [])}

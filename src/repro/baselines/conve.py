@@ -18,8 +18,10 @@ from repro.autodiff.layers import Linear
 from repro.autodiff.module import Parameter
 from repro.autodiff.tensor import Tensor
 from repro.baselines.base import EmbeddingModel
+from repro.registry import register_model
 
 
+@register_model("ConvE", description="2D-convolutional embeddings over stacked head/relation grids")
 class ConvE(EmbeddingModel):
     """Convolutional baseline."""
 
@@ -32,6 +34,7 @@ class ConvE(EmbeddingModel):
         self.kernel_size = kernel_size
         self._rows, self._cols = _factor_2d(embedding_dim)
         super().__init__(num_entities, num_relations, embedding_dim, **kwargs)
+        self._checkpoint_init.update(num_filters=num_filters, kernel_size=kernel_size)
 
         rng = np.random.default_rng(self.seed)
         image_height = 2 * self._rows       # head grid stacked on relation grid

@@ -6,8 +6,10 @@ import numpy as np
 
 from repro.autodiff.tensor import Tensor
 from repro.baselines.base import EmbeddingModel
+from repro.registry import register_model
 
 
+@register_model("DistMult", description="bilinear-diagonal scoring <h, r, t> (transductive)")
 class DistMult(EmbeddingModel):
     """Semantic-matching baseline (also the decoder used inside CLRM)."""
 

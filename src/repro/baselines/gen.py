@@ -23,8 +23,10 @@ from repro.autodiff.tensor import Tensor, no_grad
 from repro.baselines.distmult import DistMult
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
+from repro.registry import register_model
 
 
+@register_model("GEN", description="meta-learned neighbour aggregation for unseen entities")
 class GEN(DistMult):
     """Meta-learned neighbour-aggregation baseline (simplified GEN)."""
 
@@ -34,6 +36,7 @@ class GEN(DistMult):
                  simulation_fraction: float = 0.3, **kwargs):
         super().__init__(num_entities, num_relations, embedding_dim, **kwargs)
         self.simulation_fraction = simulation_fraction
+        self._checkpoint_init.update(simulation_fraction=simulation_fraction)
         rng = np.random.default_rng(self.seed)
         #: Relation-aware aggregation transform applied to neighbour embeddings.
         self.aggregation_weight = Parameter(init.xavier_uniform((embedding_dim, embedding_dim), rng=rng))

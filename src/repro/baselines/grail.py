@@ -22,12 +22,15 @@ from repro.autodiff.optim import Adam, clip_grad_norm
 from repro.autodiff.tensor import Tensor, no_grad
 from repro.baselines.base import LinkPredictor
 from repro.core.gsm import GSM
+from repro.core.persistence import CheckpointableModule
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.sampling import NegativeSampler
 from repro.kg.triple import Triple
+from repro.registry import register_model
 
 
-class Grail(LinkPredictor, Module):
+@register_model("Grail", description="inductive subgraph reasoning (attention R-GCN over pruned enclosing subgraphs)")
+class Grail(CheckpointableModule, LinkPredictor, Module):
     """Subgraph-reasoning baseline (GraIL)."""
 
     name = "Grail"
@@ -44,6 +47,11 @@ class Grail(LinkPredictor, Module):
         self.learning_rate = learning_rate
         self.batch_size = batch_size
         self.seed = seed
+        self._checkpoint_init = dict(
+            num_entities=num_entities, num_relations=num_relations,
+            embedding_dim=embedding_dim, hops=hops, num_layers=num_layers,
+            margin=margin, learning_rate=learning_rate, batch_size=batch_size,
+            edge_dropout=edge_dropout, seed=seed)
         self.gsm = GSM(
             num_relations,
             hidden_dim=embedding_dim,

@@ -12,8 +12,10 @@ import numpy as np
 
 from repro.autodiff.tensor import Tensor
 from repro.baselines.base import EmbeddingModel
+from repro.registry import register_model
 
 
+@register_model("RotatE", description="relations as complex rotations -||h ∘ r - t|| (transductive)")
 class RotatE(EmbeddingModel):
     """Rotation-based baseline."""
 

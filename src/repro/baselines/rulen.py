@@ -24,8 +24,10 @@ import numpy as np
 from repro.baselines.base import LinkPredictor
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
+from repro.registry import register_model
 
 
+@register_model("RuleN", description="statistical path-rule mining with confidence scores")
 class RuleN(LinkPredictor):
     """Rule-mining baseline."""
 
@@ -157,3 +159,34 @@ class RuleN(LinkPredictor):
     def num_rules(self) -> int:
         """Total number of mined rules (unary + path)."""
         return self.num_parameters()
+
+    # ------------------------------------------------------------------ #
+    # Checkpointable protocol: RuleN has no parameter arrays — the mined
+    # rules (plain ints and floats) ride in the JSON header instead.
+    # ------------------------------------------------------------------ #
+    def checkpoint_header(self) -> Dict[str, object]:
+        return {
+            "init": {"min_support": self.min_support,
+                     "min_confidence": self.min_confidence,
+                     "max_body_groundings": self.max_body_groundings},
+            "unary_rules": [[head, confidence, list(body)]
+                            for head, rules in self.unary_rules.items()
+                            for confidence, body in rules],
+            "path_rules": [[head, confidence, list(body)]
+                           for head, rules in self.path_rules.items()
+                           for confidence, body in rules],
+        }
+
+    def checkpoint_arrays(self) -> Dict[str, np.ndarray]:
+        return {}
+
+    @classmethod
+    def from_checkpoint(cls, header: Dict[str, object],
+                        arrays: Dict[str, np.ndarray]) -> "RuleN":
+        del arrays
+        model = cls(**header["init"])
+        for head, confidence, body in header["unary_rules"]:
+            model.unary_rules[int(head)].append((float(confidence), tuple(body)))
+        for head, confidence, body in header["path_rules"]:
+            model.path_rules[int(head)].append((float(confidence), tuple(body)))
+        return model

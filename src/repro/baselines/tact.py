@@ -29,9 +29,11 @@ from repro.autodiff.tensor import Tensor
 from repro.baselines.grail import Grail
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
+from repro.registry import register_model
 from repro.subgraph.extraction import ExtractedSubgraph
 
 
+@register_model("TACT", description="subgraph reasoning + learned relation-correlation module")
 class TACT(Grail):
     """Subgraph reasoning + relation-correlation baseline."""
 

@@ -6,8 +6,10 @@ import numpy as np
 
 from repro.autodiff.tensor import Tensor
 from repro.baselines.base import EmbeddingModel
+from repro.registry import register_model
 
 
+@register_model("TransE", description="translational distance -||h + r - t|| (transductive, §V-B adaptation)")
 class TransE(EmbeddingModel):
     """Translational-distance baseline."""
 

@@ -1,5 +1,11 @@
 """Command-line interface.
 
+Every training/evaluation command is a thin veneer over the
+:class:`repro.experiment.Experiment` facade, so ``evaluate``, ``compare``
+and config-driven ``run`` all execute the exact same code path — the
+reported metrics for the same settings are bit-identical across entry
+points and worker counts.
+
 Examples
 --------
 Generate a benchmark dataset and export it as TSV files::
@@ -9,6 +15,15 @@ Generate a benchmark dataset and export it as TSV files::
 Train and evaluate a model::
 
     python -m repro evaluate --model DEKG-ILP --name fb15k-237 --split MB --epochs 2
+
+The same run, config-driven (train, evaluate, checkpoint, metrics JSON)::
+
+    python -m repro evaluate --model DEKG-ILP --split MB --epochs 2 --save-config exp.json
+    python -m repro run --config exp.json --artifacts ./artifacts/exp
+
+List every registered model with its parameter count and capabilities::
+
+    python -m repro models
 
 Compare several models on one dataset::
 
@@ -23,14 +38,17 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
+from repro.core.config import EvalConfig, TrainingConfig
 from repro.datasets.benchmark import build_benchmark, dataset_names, split_names
 from repro.eval.complexity import parameter_formula
-from repro.eval.evaluator import Evaluator
 from repro.eval.reporting import format_table, results_to_rows
+from repro.experiment import (DatasetSection, Experiment, ExperimentConfig,
+                              ModelSection)
 from repro.kg.serialization import save_split
-from repro.utils.experiments import available_models, train_model
+from repro.registry import (default_parameter_count, model_names,
+                            registered_models)
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -66,13 +84,32 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_parser = subparsers.add_parser("evaluate", help="train and evaluate one model")
     _add_dataset_arguments(evaluate_parser)
     _add_training_arguments(evaluate_parser)
-    evaluate_parser.add_argument("--model", default="DEKG-ILP", choices=available_models())
+    evaluate_parser.add_argument("--model", default="DEKG-ILP", choices=model_names())
+    evaluate_parser.add_argument("--save-config", default=None, metavar="PATH",
+                                 help="write the equivalent experiment config JSON "
+                                      "(replayable with `repro run --config PATH`)")
+
+    run_parser = subparsers.add_parser(
+        "run", help="run an experiment from a JSON config (train, evaluate, checkpoint)")
+    run_parser.add_argument("--config", required=True,
+                            help="path to an ExperimentConfig JSON file")
+    run_parser.add_argument("--artifacts", default=None, metavar="DIR",
+                            help="directory for config.json / model.npz / metrics.json "
+                                 "(overrides the config's artifacts_dir)")
+
+    models_parser = subparsers.add_parser(
+        "models", help="list every registered model with parameters and capabilities")
+    models_parser.add_argument("--entities", type=int, default=None,
+                               help="entity count for the parameter count "
+                                    "(default: the fb15k-237 profile)")
+    models_parser.add_argument("--relations", type=int, default=None,
+                               help="relation count for the parameter count")
 
     compare_parser = subparsers.add_parser("compare", help="train and evaluate several models")
     _add_dataset_arguments(compare_parser)
     _add_training_arguments(compare_parser)
     compare_parser.add_argument("--models", nargs="+", default=["DEKG-ILP", "Grail", "TransE"],
-                                choices=available_models())
+                                choices=model_names())
 
     complexity_parser = subparsers.add_parser("complexity",
                                               help="print the closed-form parameter counts (Fig. 7)")
@@ -81,6 +118,25 @@ def build_parser() -> argparse.ArgumentParser:
     complexity_parser.add_argument("--dim", type=int, default=32)
 
     return parser
+
+
+def _config_from_args(args: argparse.Namespace, model: str) -> ExperimentConfig:
+    """The ExperimentConfig equivalent of one evaluate/compare invocation."""
+    return ExperimentConfig(
+        dataset=DatasetSection(name=args.name, split=args.split,
+                               scale=args.scale, seed=args.seed),
+        model=ModelSection(name=model, embedding_dim=args.embedding_dim),
+        training=TrainingConfig(epochs=args.epochs, seed=args.seed),
+        eval=EvalConfig(max_candidates=args.max_candidates, seed=args.seed,
+                        workers=args.eval_workers),
+    )
+
+
+def _print_result(result) -> None:
+    for scope in ("overall", "enclosing", "bridging"):
+        rows = results_to_rows([result], scope=scope)
+        print(f"\n{scope}:")
+        print(format_table(rows, columns=["model", "MRR", "Hits@1", "Hits@5", "Hits@10"]))
 
 
 def _command_dataset(args: argparse.Namespace) -> int:
@@ -100,29 +156,58 @@ def _command_dataset(args: argparse.Namespace) -> int:
 
 
 def _command_evaluate(args: argparse.Namespace) -> int:
-    dataset = build_benchmark(args.name, args.split, seed=args.seed, scale=args.scale)
-    model = train_model(args.model, dataset, epochs=args.epochs,
-                        embedding_dim=args.embedding_dim, seed=args.seed)
-    evaluator = Evaluator(dataset, max_candidates=args.max_candidates, seed=args.seed,
-                          workers=args.eval_workers)
-    result = evaluator.evaluate(model, model_name=args.model)
-    for scope in ("overall", "enclosing", "bridging"):
-        rows = results_to_rows([result], scope=scope)
-        print(f"\n{scope}:")
-        print(format_table(rows, columns=["model", "MRR", "Hits@1", "Hits@5", "Hits@10"]))
+    config = _config_from_args(args, args.model)
+    if args.save_config:
+        path = config.save(args.save_config)
+        print(f"config written to {path}", file=sys.stderr)
+    run = Experiment.from_config(config).run()
+    _print_result(run.result)
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    experiment = Experiment.from_json_file(args.config)
+    run = experiment.run(artifacts_dir=args.artifacts)
+    _print_result(run.result)
+    if run.artifacts_dir is not None:
+        print(f"\nartifacts written to {run.artifacts_dir} "
+              f"(config.json, model.npz, metrics.json)", file=sys.stderr)
+    return 0
+
+
+def _command_models(args: argparse.Namespace) -> int:
+    count_kwargs = {}
+    if args.entities is not None:
+        count_kwargs["num_entities"] = args.entities
+    if args.relations is not None:
+        count_kwargs["num_relations"] = args.relations
+    rows = []
+    for name, spec in registered_models().items():
+        capabilities = [
+            "trainer-driven" if spec.trainer_driven else "self-fitting",
+        ]
+        if spec.supports_sharded_eval:
+            capabilities.append("sharded-eval")
+        if spec.checkpointable:
+            capabilities.append("checkpointable")
+        rows.append({
+            "model": name,
+            "parameters": default_parameter_count(name, **count_kwargs),
+            "capabilities": ", ".join(capabilities),
+            "description": spec.description,
+        })
+    print(format_table(rows, columns=["model", "parameters", "capabilities", "description"]))
     return 0
 
 
 def _command_compare(args: argparse.Namespace) -> int:
     dataset = build_benchmark(args.name, args.split, seed=args.seed, scale=args.scale)
-    evaluator = Evaluator(dataset, max_candidates=args.max_candidates, seed=args.seed,
-                          workers=args.eval_workers)
     results = []
     for model_name in args.models:
         print(f"training {model_name} ...", file=sys.stderr)
-        model = train_model(model_name, dataset, epochs=args.epochs,
-                            embedding_dim=args.embedding_dim, seed=args.seed)
-        results.append(evaluator.evaluate(model, model_name=model_name))
+        run = Experiment.from_config(_config_from_args(args, model_name),
+                                     dataset=dataset).run()
+        results.append(run.result)
     print(format_table(results_to_rows(results, scope="overall"),
                        columns=["model", "MRR", "Hits@1", "Hits@5", "Hits@10"]))
     print("\nbridging links only:")
@@ -143,6 +228,8 @@ def _command_complexity(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "dataset": _command_dataset,
     "evaluate": _command_evaluate,
+    "run": _command_run,
+    "models": _command_models,
     "compare": _command_compare,
     "complexity": _command_complexity,
 }

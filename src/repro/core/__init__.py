@@ -8,11 +8,14 @@ from repro.core.gsm import GSM
 from repro.core.model import DEKGILP
 from repro.core.trainer import Trainer, TrainingHistory
 from repro.core.pipeline import LinkPredictionPipeline, Prediction
-from repro.core.persistence import save_model, load_model
+from repro.core.persistence import (Checkpointable, CheckpointableModule,
+                                    save_model, load_model)
 
 __all__ = [
     "LinkPredictionPipeline",
     "Prediction",
+    "Checkpointable",
+    "CheckpointableModule",
     "save_model",
     "load_model",
     "ModelConfig",

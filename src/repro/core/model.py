@@ -15,6 +15,7 @@ the improved node labeling).
 
 from __future__ import annotations
 
+import dataclasses
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence
 
@@ -28,6 +29,7 @@ from repro.core.gsm import GSM
 from repro.core.relation_table import RelationComponentStore
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
+from repro.registry import register_model
 
 
 class DEKGILP(Module):
@@ -38,6 +40,7 @@ class DEKGILP(Module):
         super().__init__()
         self.config = config or ModelConfig()
         self.num_relations = num_relations
+        self.seed = seed
         rng = np.random.default_rng(seed)
         self.clrm = CLRM(num_relations, self.config.embedding_dim, rng=rng) if self.config.use_semantic else None
         self.gsm = (
@@ -268,3 +271,55 @@ class DEKGILP(Module):
     def parameter_complexity(self) -> int:
         """Exact number of learned scalars (used for Fig. 7)."""
         return self.num_parameters()
+
+    # ------------------------------------------------------------------ #
+    # Checkpointable protocol (see repro.core.persistence)
+    # ------------------------------------------------------------------ #
+    def checkpoint_header(self) -> Dict[str, object]:
+        return {"init": {"num_relations": self.num_relations,
+                         "seed": self.seed,
+                         "config": dataclasses.asdict(self.config)}}
+
+    def checkpoint_arrays(self) -> Dict[str, np.ndarray]:
+        return self.state_dict()
+
+    @classmethod
+    def from_checkpoint(cls, header: Dict[str, object],
+                        arrays: Dict[str, np.ndarray]) -> "DEKGILP":
+        init = header["init"]
+        model = cls(int(init["num_relations"]),
+                    config=ModelConfig(**init["config"]), seed=init["seed"])
+        model.load_state_dict(dict(arrays))
+        model.eval()
+        return model
+
+
+def _dekg_ilp_factory(num_entities: int, num_relations: int, *,
+                      embedding_dim: int = 32, seed: Optional[int] = 0,
+                      config: Optional[ModelConfig] = None, **overrides) -> DEKGILP:
+    """Registry factory shared by DEKG-ILP and its ablation variants.
+
+    ``num_entities`` is accepted for calling-convention uniformity; the model
+    is entity-independent.  An explicit ``config`` wins over ``overrides``.
+    """
+    del num_entities
+    if config is None:
+        config_kwargs = {"embedding_dim": embedding_dim, "gnn_hidden_dim": embedding_dim}
+        config_kwargs.update(overrides)
+        config = ModelConfig(**config_kwargs)
+    return DEKGILP(num_relations, config=config, seed=seed)
+
+
+for _name, _model_overrides, _training_overrides, _description in (
+    ("DEKG-ILP", {}, {}, "full model: CLRM semantic + GSM topological scores (§IV)"),
+    ("DEKG-ILP-R", {"use_semantic": False}, {},
+     "ablation: CLRM semantic score removed (§V-G)"),
+    ("DEKG-ILP-C", {}, {"contrastive_weight": 0.0},
+     "ablation: contrastive loss disabled (§V-G)"),
+    ("DEKG-ILP-N", {"improved_labeling": False}, {},
+     "ablation: GraIL double-radius labeling instead of the improved scheme (§V-G)"),
+):
+    register_model(_name, config_class=ModelConfig, model_class=DEKGILP,
+                   trainer_driven=True, model_overrides=_model_overrides,
+                   training_overrides=_training_overrides,
+                   description=_description)(_dekg_ilp_factory)

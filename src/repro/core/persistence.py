@@ -1,66 +1,177 @@
-"""Saving and loading trained DEKG-ILP models.
+"""Saving and loading trained models — any registered model, one format.
 
-A checkpoint is a single ``.npz`` payload holding every parameter array plus
-a JSON-encoded header with the model configuration, so that
-:func:`load_model` can rebuild an identical architecture before restoring the
-weights.  The context graph is *not* stored — it is data, not model state —
-so callers re-bind it with :meth:`DEKGILP.set_context` after loading.
+A checkpoint is a single ``.npz`` payload holding the model's parameter
+arrays plus a JSON-encoded header with everything needed to rebuild an
+identical architecture: the model class, its constructor state (including the
+RNG seed it was built with) and its configuration.  The context graph is
+*not* stored — it is data, not model state — so callers re-bind it with
+``set_context`` after loading.
+
+Models opt in by implementing the :class:`Checkpointable` protocol; every
+model in the registry (DEKG-ILP and its ablations, the embedding baselines,
+GraIL, TACT, GEN, RuleN) does.  :class:`CheckpointableModule` is the stock
+implementation for :class:`~repro.autodiff.module.Module` subclasses whose
+identity is "constructor kwargs + ``state_dict``".
 
 Checkpoints can live on disk (:func:`save_model` / :func:`load_model`) or in
 memory (:func:`model_to_bytes` / :func:`model_from_bytes`).  The in-memory
 form is what the multiprocess evaluation shards use to ship a model replica
 to spawned workers: the parent serializes once, every worker rebuilds its own
 replica, and no autodiff graph state ever crosses the process boundary.
+
+The checkpoint records the seed the model was constructed with, and restore
+always reuses it.  Passing an explicit ``seed=`` to :func:`load_model` /
+:func:`model_from_bytes` is only an assertion: a value that does not match
+the recorded seed raises instead of silently rebuilding a different model
+(the historical behaviour of ``load_model(path, seed=0)``).
 """
 
 from __future__ import annotations
 
-import dataclasses
 import io
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Any, Dict, Optional, Protocol, Union, runtime_checkable
 
 import numpy as np
-
-from repro.core.config import ModelConfig
-from repro.core.model import DEKGILP
 
 PathLike = Union[str, Path]
 
 _HEADER_KEY = "__header__"
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
-def _checkpoint_arrays(model: DEKGILP) -> Dict[str, np.ndarray]:
+@runtime_checkable
+class Checkpointable(Protocol):
+    """What a model must provide to round-trip through the npz checkpoint.
+
+    ``checkpoint_header`` returns a JSON-serializable description of the
+    architecture (constructor state, configuration, seed);
+    ``checkpoint_arrays`` returns the parameter arrays; the
+    ``from_checkpoint`` classmethod rebuilds an equivalent eval-mode model
+    from the two.  Scores of the restored model must match the original
+    bit for bit on any fixed triple set.
+    """
+
+    def checkpoint_header(self) -> Dict[str, Any]: ...
+
+    def checkpoint_arrays(self) -> Dict[str, np.ndarray]: ...
+
+    @classmethod
+    def from_checkpoint(cls, header: Dict[str, Any],
+                        arrays: Dict[str, np.ndarray]) -> "Checkpointable": ...
+
+
+class CheckpointableModule:
+    """Stock :class:`Checkpointable` implementation for ``Module`` models.
+
+    Subclasses record their constructor kwargs in ``self._checkpoint_init``
+    (JSON-serializable values only) during ``__init__``; the parameter arrays
+    come from ``state_dict``.  Non-parameter state rides along through the
+    ``_checkpoint_extra`` / ``_restore_checkpoint_extra`` hooks.
+    """
+
+    _checkpoint_init: Dict[str, Any]
+
+    def checkpoint_header(self) -> Dict[str, Any]:
+        return {"init": dict(self._checkpoint_init), "extra": self._checkpoint_extra()}
+
+    def checkpoint_arrays(self) -> Dict[str, np.ndarray]:
+        return self.state_dict()
+
+    def _checkpoint_extra(self) -> Dict[str, Any]:
+        return {}
+
+    def _restore_checkpoint_extra(self, extra: Dict[str, Any]) -> None:
+        pass
+
+    @classmethod
+    def from_checkpoint(cls, header: Dict[str, Any],
+                        arrays: Dict[str, np.ndarray]):
+        model = cls(**header.get("init", {}))
+        model.load_state_dict(dict(arrays))
+        model._restore_checkpoint_extra(header.get("extra", {}))
+        model.eval()
+        return model
+
+
+def _checkpoint_arrays(model) -> Dict[str, np.ndarray]:
     """The npz payload: every parameter plus the JSON header array."""
+    if not isinstance(model, Checkpointable):
+        raise TypeError(
+            f"{type(model).__name__} does not implement the Checkpointable "
+            "protocol (checkpoint_header / checkpoint_arrays / from_checkpoint)")
+    from repro.registry import spec_for_class
+
+    spec = spec_for_class(type(model))
+    if spec is None:
+        raise TypeError(
+            f"cannot checkpoint {type(model).__name__}: restore resolves classes "
+            "through the model registry, and this class is not the model class "
+            "of any registered spec (register it with repro.registry.register_model)")
+    if not spec.checkpointable:
+        raise TypeError(
+            f"model {spec.name!r} is registered with checkpointable=False")
     header = {
         "format_version": _FORMAT_VERSION,
-        "num_relations": model.num_relations,
-        "config": dataclasses.asdict(model.config),
         "class": type(model).__name__,
+        "name": getattr(model, "name", type(model).__name__),
+        "seed": getattr(model, "seed", None),
+        "model": model.checkpoint_header(),
     }
-    arrays = {name: value for name, value in model.state_dict().items()}
+    arrays = dict(model.checkpoint_arrays())
+    if _HEADER_KEY in arrays:
+        raise ValueError(f"model arrays may not use the reserved key {_HEADER_KEY!r}")
     arrays[_HEADER_KEY] = np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
     return arrays
 
 
-def _model_from_archive(archive, source: str, seed: int) -> DEKGILP:
+def _upgrade_v1_header(header: Dict[str, Any]) -> Dict[str, Any]:
+    """Adapt a format-v1 (DEKG-ILP-only) header to the v2 shape.
+
+    Version 1 predates the registry: it stored ``num_relations`` and the
+    model config at the top level, always for the ``DEKGILP`` class, and did
+    not record a seed (that omission is why v2 exists) — the restored model
+    carries ``seed=None``.
+    """
+    return {
+        "format_version": _FORMAT_VERSION,
+        "class": header.get("class", "DEKGILP"),
+        "seed": None,
+        "model": {"init": {"num_relations": header["num_relations"],
+                           "seed": None,
+                           "config": header["config"]}},
+    }
+
+
+def _model_from_archive(archive, source: str, seed: Optional[int]):
     """Rebuild a model from an open npz archive (header + parameter arrays)."""
     if _HEADER_KEY not in archive:
         raise ValueError(f"{source} is not a repro model checkpoint (missing header)")
     header = json.loads(bytes(archive[_HEADER_KEY].tolist()).decode("utf-8"))
+    if header.get("format_version") == 1:
+        header = _upgrade_v1_header(header)
     if header.get("format_version") != _FORMAT_VERSION:
-        raise ValueError(f"unsupported checkpoint format version {header.get('format_version')}")
-    config = ModelConfig(**header["config"])
-    model = DEKGILP(int(header["num_relations"]), config=config, seed=seed)
-    state = {name: archive[name] for name in archive.files if name != _HEADER_KEY}
-    model.load_state_dict(state)
-    model.eval()
+        raise ValueError(
+            f"unsupported checkpoint format version {header.get('format_version')} "
+            f"(this build reads versions 1 and {_FORMAT_VERSION})")
+    stored_seed = header.get("seed")
+    if seed is not None and seed != stored_seed:
+        recorded = "no seed" if stored_seed is None else f"seed={stored_seed}"
+        raise ValueError(
+            f"checkpoint {source} records {recorded} but seed={seed} was "
+            f"requested; omit the seed argument to restore with the recorded one")
+    from repro.registry import resolve_model_class
+
+    model_class = resolve_model_class(header["class"])
+    arrays = {name: archive[name] for name in archive.files if name != _HEADER_KEY}
+    model = model_class.from_checkpoint(header["model"], arrays)
+    if "name" in header:
+        model.name = header["name"]
     return model
 
 
-def save_model(model: DEKGILP, path: PathLike) -> Path:
+def save_model(model, path: PathLike) -> Path:
     """Write ``model``'s configuration and parameters to ``path`` (``.npz``)."""
     path = Path(path)
     if path.suffix != ".npz":
@@ -70,21 +181,25 @@ def save_model(model: DEKGILP, path: PathLike) -> Path:
     return path
 
 
-def load_model(path: PathLike, seed: int = 0) -> DEKGILP:
-    """Rebuild a DEKG-ILP model from a checkpoint written by :func:`save_model`."""
+def load_model(path: PathLike, seed: Optional[int] = None):
+    """Rebuild a model from a checkpoint written by :func:`save_model`.
+
+    The restored model uses the seed recorded in the checkpoint; an explicit
+    ``seed`` argument must match it (a mismatch raises ``ValueError``).
+    """
     path = Path(path)
     with np.load(path) as archive:
         return _model_from_archive(archive, str(path), seed)
 
 
-def model_to_bytes(model: DEKGILP) -> bytes:
+def model_to_bytes(model) -> bytes:
     """Serialize ``model`` to an in-memory checkpoint (same format as disk)."""
     buffer = io.BytesIO()
     np.savez(buffer, **_checkpoint_arrays(model))
     return buffer.getvalue()
 
 
-def model_from_bytes(payload: bytes, seed: int = 0) -> DEKGILP:
-    """Rebuild a DEKG-ILP model from :func:`model_to_bytes` output."""
+def model_from_bytes(payload: bytes, seed: Optional[int] = None):
+    """Rebuild a model from :func:`model_to_bytes` output."""
     with np.load(io.BytesIO(payload)) as archive:
         return _model_from_archive(archive, "<bytes>", seed)

@@ -7,6 +7,12 @@ over an evolving KG:
 >>> pipeline = LinkPredictionPipeline.from_graphs(original, emerging)
 >>> pipeline.fit(epochs=3)
 >>> pipeline.predict_tail(head="thunder", relation="employ", k=3)
+
+Any registered model can drive the pipeline (``model="Grail"``); the default
+is the full DEKG-ILP model.  Trainer-driven models are optimized by
+:class:`~repro.core.trainer.Trainer`, self-training baselines by their own
+``fit`` loop — the registry's capability flag decides, so the pipeline has
+no per-model branching.
 """
 
 from __future__ import annotations
@@ -17,7 +23,6 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.config import ModelConfig, TrainingConfig
-from repro.core.model import DEKGILP
 from repro.core.trainer import Trainer, TrainingHistory
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
@@ -37,19 +42,36 @@ class Prediction:
 
 
 class LinkPredictionPipeline:
-    """Train DEKG-ILP on an original KG and answer queries over the merged KG."""
+    """Train a registered model on an original KG and answer queries over the merged KG."""
 
     def __init__(self, original: KnowledgeGraph, emerging: Optional[KnowledgeGraph] = None,
                  model_config: Optional[ModelConfig] = None,
                  training_config: Optional[TrainingConfig] = None,
-                 seed: int = 0):
+                 seed: int = 0, model: str = "DEKG-ILP"):
+        from repro.registry import build_model, get_spec
+
         self.original = original
         self.emerging = emerging
-        self.model_config = model_config or ModelConfig()
         self.training_config = training_config or TrainingConfig()
         self.seed = seed
-        self.model = DEKGILP(original.num_relations, config=self.model_config, seed=seed)
+        self.model_name = model
+        self._spec = get_spec(model)
+        # Only an *explicit* model_config overrides the registry spec: the
+        # ablation variants pin their own config fields (e.g. DEKG-ILP-R's
+        # use_semantic=False), which a defaulted ModelConfig must not undo.
+        # build_model raises for a model_config a baseline cannot honour.
+        embedding_dim = (model_config or ModelConfig()).embedding_dim
+        self.model = build_model(
+            model,
+            num_entities=original.num_entities,
+            num_relations=original.num_relations,
+            embedding_dim=embedding_dim,
+            seed=seed,
+            model_config=model_config)
+        self.model_config = (self.model.config if self._spec.trainer_driven
+                             else (model_config or ModelConfig()))
         self.history: Optional[TrainingHistory] = None
+        self._context: Optional[KnowledgeGraph] = None
         self._vocabulary = original.vocabulary
 
     # ------------------------------------------------------------------ #
@@ -60,17 +82,33 @@ class LinkPredictionPipeline:
         return cls(original, emerging, **kwargs)
 
     # ------------------------------------------------------------------ #
-    def fit(self, epochs: Optional[int] = None) -> TrainingHistory:
-        """Train on the original KG, then bind the merged context for queries."""
-        trainer = Trainer(self.model, self.original, self.training_config)
-        self.history = trainer.fit(epochs=epochs)
+    def fit(self, epochs: Optional[int] = None) -> Optional[TrainingHistory]:
+        """Train on the original KG, then bind the merged context for queries.
+
+        Returns the :class:`TrainingHistory` for trainer-driven models and
+        ``None`` for self-training baselines (their fit loops do not record
+        per-epoch history).
+        """
+        from repro.experiment import check_training_config_applies
+
+        check_training_config_applies(self.model_name, self.training_config)
+        if self._spec.trainer_driven:
+            training = self._spec.apply_training_overrides(self.training_config)
+            trainer = Trainer(self.model, self.original, training)
+            self.history = trainer.fit(epochs=epochs)
+        else:
+            self.model.fit(self.original,
+                           epochs=self.training_config.epochs if epochs is None else epochs)
+            self.history = None
         self._bind_context()
         return self.history
 
     def _bind_context(self) -> None:
         context = self.original if self.emerging is None else self.original.merge(self.emerging)
+        self._context = context
         self.model.set_context(context)
-        self.model.eval()
+        if hasattr(self.model, "eval"):
+            self.model.eval()
 
     def update_emerging(self, emerging: KnowledgeGraph) -> None:
         """Swap in a new emerging KG without retraining (the inductive promise)."""
@@ -100,8 +138,9 @@ class LinkPredictionPipeline:
         return self._vocabulary.entity_name(entity_id)
 
     def _candidate_entities(self) -> List[int]:
-        context = self.model.context_graph
-        return context.entities()
+        if self._context is None:
+            raise RuntimeError("call fit() (or update_emerging) before querying")
+        return self._context.entities()
 
     # ------------------------------------------------------------------ #
     # queries

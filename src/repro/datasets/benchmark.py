@@ -15,7 +15,7 @@ smaller than Table II so the full benchmark suite runs on a laptop CPU.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.datasets.synthetic import SyntheticKGConfig, generate_synthetic_kg
 from repro.kg.graph import KnowledgeGraph
@@ -66,6 +66,11 @@ class BenchmarkDataset:
     split_name: str
     split: InductiveSplit
     test_triples: List[Triple] = field(default_factory=list)
+    #: Construction parameters, recorded so consumers (e.g. the Experiment
+    #: facade's injected-dataset guard) can check a dataset really is the one
+    #: a config describes.  ``None`` for hand-built instances.
+    scale: Optional[float] = None
+    seed: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -139,4 +144,5 @@ def build_benchmark(dataset: str = "fb15k-237", split: str = "EQ",
     test_triples = dekg_split.mixed_test(enclosing_ratio=enclosing_ratio,
                                          bridging_ratio=bridging_ratio, seed=seed)
     return BenchmarkDataset(name=dataset, split_name=split,
-                            split=dekg_split, test_triples=test_triples)
+                            split=dekg_split, test_triples=test_triples,
+                            scale=scale, seed=seed)

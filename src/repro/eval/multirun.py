@@ -9,7 +9,6 @@ import numpy as np
 
 from repro.datasets.benchmark import BenchmarkDataset
 from repro.eval.evaluator import Evaluator
-from repro.utils.experiments import train_model
 
 
 @dataclass
@@ -47,6 +46,8 @@ def run_with_seeds(model_name: str, dataset: BenchmarkDataset, seeds: Sequence[i
     seeds is configurable to fit CPU budgets.  ``workers > 1`` shards each
     evaluation across processes without changing any reported number.
     """
+    from repro.experiment import train_model
+
     per_scope_values: Dict[str, Dict[str, List[float]]] = {}
     for seed in seeds:
         model = train_model(model_name, dataset, epochs=epochs,

@@ -18,8 +18,9 @@ Three properties make the fan-out deterministic and spawn-safe:
   the triple-major work list and are merged left-to-right, so the reduced
   rank lists — and therefore every metric, bit for bit — equal the
   sequential run's.
-* **Replicas travel as bytes, not live objects.**  A DEKG-ILP model is
-  round-tripped through its :mod:`repro.core.persistence` checkpoint format
+* **Replicas travel as bytes, not live objects.**  Any model implementing
+  the :class:`repro.core.persistence.Checkpointable` protocol — every
+  registered model does — is round-tripped through the npz checkpoint format
   (autodiff graph state never crosses the process boundary); any other model
   implementing the ``set_context`` / ``score_many`` protocol is pickled.
   Workers rebuild the replica once in their initializer and re-bind the
@@ -48,38 +49,63 @@ SHARDS_PER_WORKER = 4
 
 
 @dataclass(frozen=True)
-class ModelSpec:
+class ReplicaSpec:
     """A picklable recipe for rebuilding one model replica in a worker."""
 
-    kind: str          #: "checkpoint" (DEKG-ILP npz bytes) or "pickle"
+    kind: str          #: "checkpoint" (Checkpointable npz bytes) or "pickle"
     payload: bytes
 
 
-def make_model_spec(model) -> ModelSpec:
+def __getattr__(name: str):
+    # Pre-registry name of ReplicaSpec; kept as a deprecated alias so it
+    # cannot be confused with the unrelated repro.registry.ModelSpec.
+    if name == "ModelSpec":
+        import warnings
+
+        warnings.warn(
+            "repro.eval.sharding.ModelSpec was renamed to ReplicaSpec "
+            "(repro.registry.ModelSpec is the registry entry, a different type)",
+            DeprecationWarning, stacklevel=2)
+        return ReplicaSpec
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def make_model_spec(model) -> ReplicaSpec:
     """Serialize ``model`` into a spec a spawned worker can rebuild from.
 
-    DEKG-ILP goes through the persistence checkpoint (exact parameter
-    round-trip, no autodiff closures); everything else must pickle.  The
-    caller (:meth:`Evaluator.evaluate`) guarantees the model is in eval
-    mode: a training-mode model draws dropout from a mid-stream RNG that a
-    freshly rebuilt replica cannot reproduce, which would silently break the
-    bit-identity guarantee, so sharded evaluation refuses it up front.
+    Checkpointable models go through the persistence checkpoint (exact
+    parameter round-trip, no autodiff closures); everything else must
+    pickle.  The caller (:meth:`Evaluator.evaluate`) guarantees the model is
+    in eval mode: a training-mode model draws dropout from a mid-stream RNG
+    that a freshly rebuilt replica cannot reproduce, which would silently
+    break the bit-identity guarantee, so sharded evaluation refuses it up
+    front.
     """
-    from repro.core.model import DEKGILP
-    from repro.core.persistence import model_to_bytes
+    from repro.core.persistence import Checkpointable, model_to_bytes
+    from repro.registry import spec_for_class
 
-    if isinstance(model, DEKGILP):
-        return ModelSpec(kind="checkpoint", payload=model_to_bytes(model))
+    registered_spec = spec_for_class(type(model))
+    if registered_spec is not None and not registered_spec.supports_sharded_eval:
+        raise TypeError(
+            f"model {registered_spec.name!r} is registered with "
+            "supports_sharded_eval=False; evaluate with workers=1 instead")
+    if isinstance(model, Checkpointable):
+        # The worker rebuilds the replica by class name through the registry,
+        # so the checkpoint path is only valid for classes the registry can
+        # resolve back to exactly this type; an unregistered Checkpointable
+        # subclass falls through to pickling.
+        if registered_spec is not None and registered_spec.checkpointable:
+            return ReplicaSpec(kind="checkpoint", payload=model_to_bytes(model))
     try:
-        return ModelSpec(kind="pickle", payload=pickle.dumps(model))
+        return ReplicaSpec(kind="pickle", payload=pickle.dumps(model))
     except Exception as exc:
         raise TypeError(
             f"cannot ship {type(model).__name__} to evaluation workers: it is "
-            f"neither a DEKGILP (checkpointable) nor picklable ({exc}); "
+            f"neither Checkpointable nor picklable ({exc}); "
             f"evaluate with workers=1 instead") from exc
 
 
-def restore_model(spec: ModelSpec):
+def restore_model(spec: ReplicaSpec):
     """Rebuild the replica described by ``spec`` (worker-side, eval mode)."""
     if spec.kind == "checkpoint":
         from repro.core.persistence import model_from_bytes
@@ -117,7 +143,7 @@ def contiguous_shards(num_items: int, num_shards: int) -> List[Tuple[int, int]]:
 _WORKER_STATE = None
 
 
-def _init_worker(spec: ModelSpec, workload: ShardWorkload, context_graph: KnowledgeGraph) -> None:
+def _init_worker(spec: ReplicaSpec, workload: ShardWorkload, context_graph: KnowledgeGraph) -> None:
     global _WORKER_STATE
     model = restore_model(spec)
     model.set_context(context_graph)

@@ -1,8 +1,8 @@
-"""Shared utilities: seeding, timing, experiment orchestration."""
+"""Shared utilities: seeding, timing, legacy experiment shims."""
 
 from repro.utils.seed import set_global_seed
 from repro.utils.timing import Timer
-from repro.utils.experiments import train_model, available_models
+from repro.utils.experiments import train_model, available_models  # deprecated shims
 
 __all__ = [
     "set_global_seed",

@@ -1,22 +1,24 @@
-"""Experiment orchestration: train any model (DEKG-ILP, ablations, baselines)
-on a benchmark dataset with one call.
+"""Deprecated experiment-orchestration shims.
 
-This is the layer the benchmark harness and the examples share; it hides the
-difference between the Trainer-driven DEKG-ILP model and the self-contained
-``fit`` interface of the baselines.
+This module used to hold one of the repository's four parallel model
+construction paths.  That role moved to :mod:`repro.registry` (the unified
+model registry) and :mod:`repro.experiment` (the ``Experiment`` facade and
+the canonical :func:`repro.experiment.train_model`); the functions here are
+thin delegating shims kept so that old import paths and call signatures keep
+working.  They emit :class:`DeprecationWarning` on use.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import warnings
+from typing import List, Optional
 
-from repro.baselines import baseline_registry
 from repro.core.config import ModelConfig, TrainingConfig
-from repro.core.model import DEKGILP
-from repro.core.trainer import Trainer
 from repro.datasets.benchmark import BenchmarkDataset
 
-#: DEKG-ILP variants (full model + the three ablations of §V-G).
+#: DEKG-ILP variants (full model + the three ablations of §V-G).  Kept as a
+#: legacy constant; the registry's per-spec ``model_overrides`` /
+#: ``training_overrides`` are the source of truth now.
 DEKG_ILP_VARIANTS = {
     "DEKG-ILP": {},
     "DEKG-ILP-R": {"use_semantic": False},
@@ -26,45 +28,26 @@ DEKG_ILP_VARIANTS = {
 
 
 def available_models() -> List[str]:
-    """Every model name accepted by :func:`train_model`."""
-    return list(DEKG_ILP_VARIANTS) + list(baseline_registry())
+    """Deprecated: use :func:`repro.registry.model_names`."""
+    warnings.warn(
+        "repro.utils.experiments.available_models is deprecated; use "
+        "repro.registry.model_names()", DeprecationWarning, stacklevel=2)
+    from repro.registry import model_names
+
+    return model_names()
 
 
 def train_model(name: str, dataset: BenchmarkDataset, epochs: int = 3,
                 embedding_dim: int = 32, seed: int = 0,
                 model_config: Optional[ModelConfig] = None,
                 training_config: Optional[TrainingConfig] = None):
-    """Train the model called ``name`` on ``dataset`` and return it ready to score.
+    """Deprecated: use :func:`repro.experiment.train_model`."""
+    warnings.warn(
+        "repro.utils.experiments.train_model is deprecated; use "
+        "repro.experiment.train_model (same signature) or the "
+        "repro.experiment.Experiment facade", DeprecationWarning, stacklevel=2)
+    from repro.experiment import train_model as _train_model
 
-    The returned object implements ``set_context`` / ``score_many`` /
-    ``num_parameters`` and can be handed directly to
-    :class:`repro.eval.evaluator.Evaluator`.
-    """
-    train_graph = dataset.train_graph
-    if name in DEKG_ILP_VARIANTS:
-        overrides: Dict = dict(DEKG_ILP_VARIANTS[name])
-        contrastive_weight = overrides.pop("contrastive_weight", None)
-        if model_config is None:
-            model_config = ModelConfig(embedding_dim=embedding_dim,
-                                       gnn_hidden_dim=embedding_dim, **overrides)
-        if training_config is None:
-            training_config = TrainingConfig(epochs=epochs, seed=seed)
-        if contrastive_weight is not None:
-            training_config.contrastive_weight = contrastive_weight
-        model = DEKGILP(dataset.num_relations, config=model_config, seed=seed)
-        model.name = name
-        Trainer(model, train_graph, training_config).fit()
-        return model
-
-    registry = baseline_registry()
-    if name not in registry:
-        raise KeyError(f"unknown model {name!r}; choose from {available_models()}")
-    baseline_cls = registry[name]
-    baseline = baseline_cls(
-        num_entities=train_graph.num_entities,
-        num_relations=dataset.num_relations,
-        embedding_dim=embedding_dim,
-        seed=seed,
-    )
-    baseline.fit(train_graph, epochs=epochs)
-    return baseline
+    return _train_model(name, dataset, epochs=epochs, embedding_dim=embedding_dim,
+                        seed=seed, model_config=model_config,
+                        training_config=training_config)

@@ -5,6 +5,13 @@ edge dropout β and the contrastive loss coefficient σ on the validation set
 with a grid search and reports the optimal configuration
 ``lr=0.01, d=32, β=0.5, σ=0.1``.  :func:`grid_search` reproduces that loop for
 any subset of the grid on one benchmark dataset.
+
+The sweep runs over any registered model (``model="DEKG-ILP"`` by default,
+ablation variants and baselines included).  Trainer-driven models support
+all four paper axes; self-training baselines support the ``learning_rate``
+and ``embedding_dim`` axes (the other two are DEKG-ILP training-loop
+concepts, and an axis a model cannot honour raises instead of being silently
+ignored).
 """
 
 from __future__ import annotations
@@ -13,11 +20,11 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.core.config import ModelConfig, TrainingConfig
-from repro.core.model import DEKGILP
+from repro.core.config import TrainingConfig
 from repro.core.trainer import Trainer
 from repro.datasets.benchmark import BenchmarkDataset
 from repro.eval.evaluator import Evaluator
+from repro.registry import build_model, get_spec
 
 #: The grid reported in §V-D of the paper.
 PAPER_GRID: Dict[str, Sequence] = {
@@ -34,6 +41,9 @@ PAPER_OPTIMAL = {
     "edge_dropout": 0.5,
     "contrastive_weight": 0.1,
 }
+
+#: Grid axes a self-training baseline can honour.
+BASELINE_AXES = ("learning_rate", "embedding_dim")
 
 
 @dataclass
@@ -76,10 +86,64 @@ def grid_points(grid: Optional[Dict[str, Iterable]] = None) -> List[Dict[str, fl
     return points
 
 
+def _train_point(model: str, dataset: BenchmarkDataset, point: Dict[str, float],
+                 epochs: int, seed: int):
+    """Build + train one grid point of ``model`` through the registry."""
+    spec = get_spec(model)
+    pinned = set(spec.model_overrides) | set(spec.training_overrides)
+    conflict = pinned & set(point)
+    if conflict:
+        raise ValueError(
+            f"grid axis {sorted(conflict)[0]!r} is pinned by variant {model!r} "
+            f"and cannot be swept; use the base model instead")
+    params = dict(point)
+    swept_embedding_dim = "embedding_dim" in params
+    embedding_dim = int(params.pop("embedding_dim", PAPER_OPTIMAL["embedding_dim"]))
+    swept_learning_rate = "learning_rate" in params
+    learning_rate = float(params.pop("learning_rate", PAPER_OPTIMAL["learning_rate"]))
+    train_graph = dataset.train_graph
+    if spec.trainer_driven:
+        edge_dropout = float(params.pop("edge_dropout", PAPER_OPTIMAL["edge_dropout"]))
+        contrastive_weight = float(params.pop("contrastive_weight",
+                                              PAPER_OPTIMAL["contrastive_weight"]))
+        if params:
+            raise ValueError(
+                f"unsupported grid axis {sorted(params)[0]!r} for model {model!r}")
+        instance = build_model(model, num_entities=train_graph.num_entities,
+                               num_relations=dataset.num_relations,
+                               embedding_dim=embedding_dim, seed=seed,
+                               overrides={"edge_dropout": edge_dropout})
+        training = spec.apply_training_overrides(TrainingConfig(
+            learning_rate=learning_rate, contrastive_weight=contrastive_weight,
+            epochs=epochs, seed=seed))
+        Trainer(instance, train_graph, training).fit()
+        return instance
+    if params:
+        raise ValueError(
+            f"unsupported grid axis {sorted(params)[0]!r} for model {model!r}; "
+            f"self-training baselines sweep {BASELINE_AXES} only")
+    # Only axes the caller actually swept become overrides, and build_model
+    # rejects ones the model cannot honour (e.g. learning_rate or
+    # embedding_dim for RuleN) instead of silently evaluating the same model
+    # at every point.
+    overrides = {}
+    if swept_learning_rate:
+        overrides["learning_rate"] = learning_rate
+    if swept_embedding_dim:
+        overrides["embedding_dim"] = embedding_dim
+    instance = build_model(model, num_entities=train_graph.num_entities,
+                           num_relations=dataset.num_relations,
+                           embedding_dim=embedding_dim, seed=seed,
+                           overrides=overrides)
+    instance.fit(train_graph, epochs=epochs)
+    return instance
+
+
 def grid_search(dataset: BenchmarkDataset, grid: Optional[Dict[str, Iterable]] = None,
                 epochs: int = 2, max_candidates: int = 25, seed: int = 0,
-                max_points: Optional[int] = None) -> GridSearchReport:
-    """Train and evaluate DEKG-ILP at every grid point; return all scores.
+                max_points: Optional[int] = None,
+                model: str = "DEKG-ILP") -> GridSearchReport:
+    """Train and evaluate ``model`` at every grid point; return all scores.
 
     ``max_points`` truncates the sweep (useful for smoke tests and CPU budgets);
     points are evaluated in deterministic order.
@@ -90,21 +154,8 @@ def grid_search(dataset: BenchmarkDataset, grid: Optional[Dict[str, Iterable]] =
     if max_points is not None:
         points = points[:max_points]
     for point in points:
-        model_config = ModelConfig(
-            embedding_dim=int(point.get("embedding_dim", PAPER_OPTIMAL["embedding_dim"])),
-            gnn_hidden_dim=int(point.get("embedding_dim", PAPER_OPTIMAL["embedding_dim"])),
-            edge_dropout=float(point.get("edge_dropout", PAPER_OPTIMAL["edge_dropout"])),
-        )
-        training_config = TrainingConfig(
-            learning_rate=float(point.get("learning_rate", PAPER_OPTIMAL["learning_rate"])),
-            contrastive_weight=float(point.get("contrastive_weight",
-                                               PAPER_OPTIMAL["contrastive_weight"])),
-            epochs=epochs,
-            seed=seed,
-        )
-        model = DEKGILP(dataset.num_relations, config=model_config, seed=seed)
-        Trainer(model, dataset.train_graph, training_config).fit()
-        result = evaluator.evaluate(model, model_name="DEKG-ILP")
+        instance = _train_point(model, dataset, point, epochs, seed)
+        result = evaluator.evaluate(instance, model_name=model)
         report.results.append(GridSearchResult(
             parameters=dict(point),
             mrr=result.metric("MRR"),

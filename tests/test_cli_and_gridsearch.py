@@ -38,6 +38,31 @@ class TestCLIParser:
         assert args.models == ["DEKG-ILP", "TransE"]
 
 
+class TestCLIModelsCommand:
+    def test_models_lists_registry_with_parameters_and_capabilities(self, capsys):
+        from repro.registry import model_names
+
+        exit_code = main(["models"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        for name in model_names():
+            assert name in output
+        # Capability flags and a parameter count at the default config.
+        assert "trainer-driven" in output
+        assert "self-fitting" in output
+        assert "checkpointable" in output
+        from repro.registry import default_parameter_count
+
+        assert str(default_parameter_count("DEKG-ILP")) in output
+
+    def test_models_honours_reference_size(self, capsys):
+        from repro.registry import default_parameter_count
+
+        assert main(["models", "--entities", "50", "--relations", "5"]) == 0
+        output = capsys.readouterr().out
+        assert str(default_parameter_count("TransE", 50, 5)) in output
+
+
 class TestCLICommands:
     def test_complexity_command(self, capsys):
         exit_code = main(["complexity", "--entities", "100", "--relations", "10"])
@@ -125,3 +150,29 @@ class TestGridSearch:
             epochs=1, max_candidates=5, seed=0, max_points=1,
         )
         assert len(report.results) == 1
+
+    def test_grid_search_over_a_baseline(self, small_benchmark):
+        report = grid_search(
+            small_benchmark,
+            grid={"learning_rate": (0.05, 0.01), "embedding_dim": (8,)},
+            epochs=1, max_candidates=5, seed=0, model="TransE",
+        )
+        assert len(report.results) == 2
+        for result in report.results:
+            assert 0.0 <= result.mrr <= 1.0
+
+    def test_grid_search_over_an_ablation_variant(self, small_benchmark):
+        report = grid_search(
+            small_benchmark,
+            grid={"embedding_dim": (8,)},
+            epochs=1, max_candidates=5, seed=0, model="DEKG-ILP-R",
+        )
+        assert len(report.results) == 1
+
+    def test_grid_search_rejects_unsupported_baseline_axis(self, small_benchmark):
+        with pytest.raises(ValueError, match="contrastive_weight"):
+            grid_search(
+                small_benchmark,
+                grid={"contrastive_weight": (0.1,)},
+                epochs=1, max_candidates=5, seed=0, model="TransE",
+            )

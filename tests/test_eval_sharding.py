@@ -202,6 +202,23 @@ class TestModelShipping:
         replica = restore_model(spec)
         assert replica.name == "r"
 
+    def test_checkpointable_baseline_ships_as_checkpoint(self, small_benchmark):
+        # Replica building goes through the Checkpointable protocol for every
+        # registered model, not just DEKG-ILP (the pre-registry special case).
+        from repro.experiment import train_model
+
+        model = train_model("TransE", small_benchmark, epochs=1,
+                            embedding_dim=8, seed=0)
+        spec = make_model_spec(model)
+        assert spec.kind == "checkpoint"
+        replica = restore_model(spec)
+        context = small_benchmark.split.evaluation_graph()
+        model.set_context(context)
+        replica.set_context(context)
+        probe = small_benchmark.test_triples[:3]
+        np.testing.assert_array_equal(model.score_many(probe),
+                                      replica.score_many(probe))
+
     def test_unpicklable_model_rejected(self):
         class Unshippable:
             score_many = lambda self, triples: np.zeros(len(triples))  # noqa: E731

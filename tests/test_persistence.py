@@ -7,9 +7,12 @@ import pytest
 
 from repro.core.config import ModelConfig, TrainingConfig
 from repro.core.model import DEKGILP
-from repro.core.persistence import load_model, save_model
+from repro.core.persistence import (Checkpointable, load_model, model_from_bytes,
+                                    model_to_bytes, save_model)
 from repro.core.trainer import Trainer
+from repro.experiment import train_model
 from repro.kg.triple import Triple
+from repro.registry import model_names
 
 
 @pytest.fixture
@@ -68,3 +71,102 @@ class TestPersistence:
     def test_loaded_model_is_in_eval_mode(self, trained_model, tmp_path):
         restored = load_model(save_model(trained_model, tmp_path / "model.npz"))
         assert not restored.training
+
+
+class TestLegacyFormatV1:
+    """Checkpoints written before the registry (format v1) still restore."""
+
+    def _write_v1(self, model, path):
+        import dataclasses
+        import json
+
+        header = {
+            "format_version": 1,
+            "num_relations": model.num_relations,
+            "config": dataclasses.asdict(model.config),
+            "class": "DEKGILP",
+        }
+        arrays = dict(model.state_dict())
+        arrays["__header__"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8)
+        np.savez(path, **arrays)
+        return path
+
+    def test_v1_checkpoint_restores_scores(self, trained_model, tiny_graph, tmp_path):
+        path = self._write_v1(trained_model, tmp_path / "legacy.npz")
+        restored = load_model(path)
+        assert restored.seed is None  # v1 never recorded a seed
+        trained_model.eval()
+        trained_model.set_context(tiny_graph)
+        restored.set_context(tiny_graph)
+        triples = [Triple(0, 0, 1), Triple(3, 0, 4)]
+        np.testing.assert_array_equal(trained_model.score_many(triples),
+                                      restored.score_many(triples))
+
+    def test_v1_checkpoint_rejects_explicit_seed(self, trained_model, tmp_path):
+        path = self._write_v1(trained_model, tmp_path / "legacy.npz")
+        with pytest.raises(ValueError, match="no seed"):
+            load_model(path, seed=0)
+
+
+class TestSeedPersistence:
+    """The checkpoint records the construction seed; restore reuses it."""
+
+    def test_seed_restored_without_argument(self, trained_model, tmp_path):
+        path = save_model(trained_model, tmp_path / "model.npz")
+        assert load_model(path).seed == trained_model.seed == 0
+
+    def test_matching_explicit_seed_accepted(self, trained_model, tmp_path):
+        path = save_model(trained_model, tmp_path / "model.npz")
+        assert load_model(path, seed=0).seed == 0
+
+    def test_mismatched_explicit_seed_rejected(self, trained_model, tmp_path):
+        path = save_model(trained_model, tmp_path / "model.npz")
+        with pytest.raises(ValueError, match="seed=0"):
+            load_model(path, seed=123)
+
+    def test_seedless_model_rejects_explicit_seed(self, small_benchmark):
+        model = train_model("RuleN", small_benchmark, epochs=1)
+        payload = model_to_bytes(model)
+        with pytest.raises(ValueError, match="no seed"):
+            model_from_bytes(payload, seed=7)
+        assert model_from_bytes(payload).num_rules() == model.num_rules()
+
+
+class TestEveryRegisteredModelRoundTrips:
+    """Score parity on a fixed triple set after save → load, for all models."""
+
+    @pytest.fixture(scope="class")
+    def checkpoint_benchmark(self):
+        from repro.datasets.benchmark import build_benchmark
+
+        return build_benchmark("fb15k-237", "EQ", seed=1, scale=0.2)
+
+    @pytest.mark.parametrize("name", model_names())
+    def test_checkpoint_score_parity(self, name, checkpoint_benchmark, tmp_path):
+        dataset = checkpoint_benchmark
+        model = train_model(name, dataset, epochs=1, embedding_dim=8, seed=0)
+        assert isinstance(model, Checkpointable)
+        if hasattr(model, "eval"):
+            model.eval()
+        restored = load_model(save_model(model, tmp_path / f"{name}.npz"))
+        assert restored.name == name
+        context = dataset.split.evaluation_graph()
+        model.set_context(context)
+        restored.set_context(context)
+        probe = dataset.test_triples[:5]
+        np.testing.assert_array_equal(model.score_many(probe),
+                                      restored.score_many(probe))
+
+    @pytest.mark.parametrize("name", ["DEKG-ILP", "TransE"])
+    def test_bytes_roundtrip_matches_disk(self, name, checkpoint_benchmark):
+        dataset = checkpoint_benchmark
+        model = train_model(name, dataset, epochs=1, embedding_dim=8, seed=0)
+        model.eval()
+        restored = model_from_bytes(model_to_bytes(model))
+        context = dataset.split.evaluation_graph()
+        model.set_context(context)
+        restored.set_context(context)
+        probe = dataset.test_triples[:5]
+        np.testing.assert_array_equal(model.score_many(probe),
+                                      restored.score_many(probe))
