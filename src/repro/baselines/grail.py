@@ -27,6 +27,7 @@ from repro.kg.graph import KnowledgeGraph
 from repro.kg.sampling import NegativeSampler
 from repro.kg.triple import Triple
 from repro.registry import register_model
+from repro.subgraph.provider import SubgraphProvider, masked_edges
 
 
 @register_model("Grail", description="inductive subgraph reasoning (attention R-GCN over pruned enclosing subgraphs)")
@@ -40,7 +41,9 @@ class Grail(CheckpointableModule, LinkPredictor, Module):
     def __init__(self, num_entities: int = 0, num_relations: int = 1, embedding_dim: int = 32,
                  hops: int = 2, num_layers: int = 2, margin: float = 1.0,
                  learning_rate: float = 0.01, batch_size: int = 16,
-                 edge_dropout: float = 0.5, seed: Optional[int] = 0, **_ignored):
+                 edge_dropout: float = 0.5, seed: Optional[int] = 0,
+                 cache_policy: str = "corruption_aware", cache_size: int = 4096,
+                 **_ignored):
         Module.__init__(self)
         self.num_relations = num_relations
         self.margin = margin
@@ -51,7 +54,8 @@ class Grail(CheckpointableModule, LinkPredictor, Module):
             num_entities=num_entities, num_relations=num_relations,
             embedding_dim=embedding_dim, hops=hops, num_layers=num_layers,
             margin=margin, learning_rate=learning_rate, batch_size=batch_size,
-            edge_dropout=edge_dropout, seed=seed)
+            edge_dropout=edge_dropout, seed=seed,
+            cache_policy=cache_policy, cache_size=cache_size)
         self.gsm = GSM(
             num_relations,
             hidden_dim=embedding_dim,
@@ -60,7 +64,14 @@ class Grail(CheckpointableModule, LinkPredictor, Module):
             edge_dropout=edge_dropout,
             improved_labeling=self.improved_labeling,
             rng=np.random.default_rng(seed),
+            dropout_seed=seed,
         )
+        #: Policy-driven extraction cache shared by the fit loop's batches;
+        #: relation-agnostic entries, masked per candidate when scoring.
+        self.subgraph_provider = SubgraphProvider(
+            hops=hops, improved_labeling=self.improved_labeling,
+            max_nodes=self.gsm.max_subgraph_nodes,
+            policy=cache_policy, cache_size=cache_size)
         self._context: Optional[KnowledgeGraph] = None
         self._rng = np.random.default_rng(seed)
 
@@ -71,12 +82,19 @@ class Grail(CheckpointableModule, LinkPredictor, Module):
     def _batch_scores(self, graph: KnowledgeGraph, triples: Sequence[Triple]) -> Tensor:
         """Differentiable ``(n,)`` scores for a batch of triples.
 
-        Extracts every (target-aware) subgraph and encodes them as chunked
-        block-diagonal union graphs — one GNN pass per chunk instead of one
-        per triple.  Subclasses that add per-triple score terms override this.
+        Subgraphs come from the provider (relation-agnostic, cache misses
+        extracted in one multi-source BFS sweep, warm across corruptions and
+        epochs); the scored link's edge is masked per candidate — identical
+        to target-aware extraction — and the batch encodes as chunked
+        block-diagonal union graphs.  Subclasses that add per-triple score
+        terms override this.
         """
-        subgraphs = [self.gsm.extract(graph, t) for t in triples]
-        return self.gsm.score_batch_chunked(subgraphs, [t.relation for t in triples])
+        subgraphs = self.subgraph_provider.get_many(
+            graph, [(t.head, t.tail) for t in triples])
+        edges_list = [masked_edges(graph, subgraph, triple)
+                      for subgraph, triple in zip(subgraphs, triples)]
+        return self.gsm.score_batch_chunked(subgraphs, [t.relation for t in triples],
+                                            edges_list)
 
     def fit(self, train_graph: KnowledgeGraph, epochs: int = 10) -> "Grail":
         self.train()
@@ -84,7 +102,10 @@ class Grail(CheckpointableModule, LinkPredictor, Module):
         sampler = NegativeSampler(train_graph, num_negatives=1, seed=self.seed)
         optimizer = Adam(self.parameters(), lr=self.learning_rate)
         triples = train_graph.triples
-        for _ in range(epochs):
+        self.subgraph_provider.pin_pairs(
+            train_graph, {(t.head, t.tail) for t in triples})
+        for epoch in range(epochs):
+            self.gsm.set_dropout_epoch(epoch)
             order = self._rng.permutation(len(triples))
             for start in range(0, len(triples), self.batch_size):
                 batch = [triples[i] for i in order[start:start + self.batch_size]]
@@ -107,6 +128,11 @@ class Grail(CheckpointableModule, LinkPredictor, Module):
         return self
 
     # ------------------------------------------------------------------ #
+    @property
+    def context_graph(self) -> Optional[KnowledgeGraph]:
+        """The graph bound by :meth:`set_context` (None before binding)."""
+        return self._context
+
     def set_context(self, graph: KnowledgeGraph) -> None:
         self._context = graph
 
@@ -117,7 +143,21 @@ class Grail(CheckpointableModule, LinkPredictor, Module):
             return float(self._triple_score(self._context, triple).data)
 
     def score_many(self, triples: Sequence[Triple]) -> np.ndarray:
-        return np.array([self.score(t) for t in triples], dtype=np.float64)
+        """Batched scoring over provider-cached extractions (``no_grad``).
+
+        Shares :meth:`_batch_scores` with the fit loop, so ranking a true
+        triple against its corrupted candidates reuses subgraph extractions
+        across candidates and forms — which is also what makes the
+        evaluator's true-pair pinning effective for this model family.
+        """
+        if self._context is None:
+            raise RuntimeError("call set_context(graph) before scoring")
+        triples = list(triples)
+        if not triples:
+            return np.zeros(0, dtype=np.float64)
+        with no_grad():
+            scores = self._batch_scores(self._context, triples)
+        return np.asarray(scores.data, dtype=np.float64).copy()
 
     def num_parameters(self) -> int:
         return Module.num_parameters(self)

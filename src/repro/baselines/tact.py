@@ -31,6 +31,7 @@ from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
 from repro.registry import register_model
 from repro.subgraph.extraction import ExtractedSubgraph
+from repro.subgraph.provider import masked_edges
 
 
 @register_model("TACT", description="subgraph reasoning + learned relation-correlation module")
@@ -53,10 +54,10 @@ class TACT(Grail):
         self.correlation_scorer = Linear(3 * embedding_dim, 1, rng=rng)
 
     # ------------------------------------------------------------------ #
-    def _subgraph_relation_counts(self, subgraph: ExtractedSubgraph, local_node: int) -> np.ndarray:
-        """Counts of relations on subgraph edges incident to ``local_node``."""
+    def _subgraph_relation_counts(self, edges: np.ndarray, local_node: int) -> np.ndarray:
+        """Counts of relations on subgraph ``edges`` incident to ``local_node``."""
         counts = np.zeros(self.num_relations)
-        for source, relation, destination in subgraph.edges:
+        for source, relation, destination in edges:
             if int(source) == local_node or int(destination) == local_node:
                 counts[int(relation)] += 1
         return counts
@@ -69,10 +70,18 @@ class TACT(Grail):
         weights = Tensor(counts / counts.sum()) * correlation
         return (weights.reshape(1, -1) @ self.relation_context).reshape(self.embedding_dim)
 
-    def _correlation_score(self, subgraph: ExtractedSubgraph, triple: Triple) -> Tensor:
-        """Relation-correlation score read off an already-extracted subgraph."""
-        head_counts = self._subgraph_relation_counts(subgraph, subgraph.head_index())
-        tail_counts = self._subgraph_relation_counts(subgraph, subgraph.tail_index())
+    def _correlation_score(self, subgraph: ExtractedSubgraph, triple: Triple,
+                           edges: Optional[np.ndarray] = None) -> Tensor:
+        """Relation-correlation score read off an already-extracted subgraph.
+
+        ``edges`` overrides ``subgraph.edges`` when the caller holds a
+        relation-agnostic cached extraction and has masked the scored link
+        out (the context must not include the edge being predicted).
+        """
+        if edges is None:
+            edges = subgraph.edges
+        head_counts = self._subgraph_relation_counts(edges, subgraph.head_index())
+        tail_counts = self._subgraph_relation_counts(edges, subgraph.tail_index())
         head_context = self._adjacent_relation_vector(head_counts, triple.relation)
         tail_context = self._adjacent_relation_vector(tail_counts, triple.relation)
         relation_vector = self.relation_context[int(triple.relation)]
@@ -90,13 +99,19 @@ class TACT(Grail):
         """Union-graph structural scores plus stacked correlation terms.
 
         The R-GCN encoding — the expensive part — runs over chunked
-        block-diagonal union graphs exactly like the Grail parent; only the
-        cheap per-triple relation-correlation read-off stays a Python loop.
+        block-diagonal union graphs over provider-cached extractions exactly
+        like the Grail parent; only the cheap per-triple
+        relation-correlation read-off stays a Python loop (on the same
+        masked edge arrays the structural term scores).
         """
-        subgraphs = [self.gsm.extract(graph, t) for t in triples]
-        structural = self.gsm.score_batch_chunked(subgraphs, [t.relation for t in triples])
+        subgraphs = self.subgraph_provider.get_many(
+            graph, [(t.head, t.tail) for t in triples])
+        edges_list = [masked_edges(graph, subgraph, triple)
+                      for subgraph, triple in zip(subgraphs, triples)]
+        structural = self.gsm.score_batch_chunked(
+            subgraphs, [t.relation for t in triples], edges_list)
         correlation = F.stack([
-            self._correlation_score(subgraph, triple)
-            for subgraph, triple in zip(subgraphs, triples)
+            self._correlation_score(subgraph, triple, edges)
+            for subgraph, triple, edges in zip(subgraphs, triples, edges_list)
         ])
         return structural + correlation

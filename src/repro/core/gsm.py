@@ -19,6 +19,7 @@ from repro.autodiff import init
 from repro.autodiff.layers import Linear
 from repro.autodiff.module import Module, Parameter
 from repro.autodiff.tensor import Tensor
+from repro.gnn.edge_dropout import edge_keys
 from repro.gnn.encoder import SubgraphEncoder
 from repro.gnn.pooling import segment_mean_pool
 from repro.kg.graph import KnowledgeGraph
@@ -33,7 +34,8 @@ class GSM(Module):
                  num_layers: int = 2, num_bases: int = 4, edge_dropout: float = 0.5,
                  use_attention: bool = True, improved_labeling: bool = True,
                  max_subgraph_nodes: int = 150,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 dropout_seed: Optional[int] = None):
         super().__init__()
         rng = rng or np.random.default_rng()
         self.num_relations = num_relations
@@ -50,6 +52,7 @@ class GSM(Module):
             dropout=edge_dropout,
             use_attention=use_attention,
             rng=rng,
+            dropout_seed=dropout_seed,
         )
         #: Relation embeddings from the topological perspective (r_tpo).
         self.relation_topological = Parameter(init.xavier_uniform((num_relations, hidden_dim), rng=rng))
@@ -57,6 +60,15 @@ class GSM(Module):
         self.scorer = Linear(4 * hidden_dim, 1, rng=rng)
 
     # ------------------------------------------------------------------ #
+    def set_dropout_epoch(self, epoch: int) -> None:
+        """Advance the counter-seeded edge-dropout clock to ``epoch``.
+
+        Trainers call this at the top of every epoch; an edge's dropout mask
+        is a pure function of ``(seed, epoch, layer, edge)``, so batched and
+        sequential scoring of the same triples draw identical masks.
+        """
+        self.encoder.dropout_clock.epoch = int(epoch)
+
     def extract(self, graph: KnowledgeGraph, triple: Triple) -> ExtractedSubgraph:
         """Extract the labeled subgraph around ``triple`` from ``graph``."""
         return extract_enclosing_subgraph(
@@ -127,16 +139,24 @@ class GSM(Module):
 
         features = np.concatenate([subgraph.node_features for subgraph in subgraphs], axis=0)
         blocks = []
-        for edges, offset in zip(edges_list, offsets[:-1]):
+        key_blocks = []
+        for subgraph, edges, offset in zip(subgraphs, edges_list, offsets[:-1]):
             if len(edges):
                 shifted = edges.copy()
                 shifted[:, 0] += offset
                 shifted[:, 2] += offset
                 blocks.append(shifted)
+                # Global-identity dropout keys come from the *unshifted*
+                # local edges, so an edge's mask does not depend on which
+                # union block it lands in.
+                key_blocks.append(edge_keys(subgraph.nodes, edges))
         union_edges = np.concatenate(blocks) if blocks else np.zeros((0, 3), dtype=np.int64)
+        union_keys = (np.concatenate(key_blocks) if key_blocks
+                      else np.zeros(0, dtype=np.uint64))
         graph_ids = np.repeat(np.arange(num_graphs), node_counts)
 
-        nodes = self.encoder.forward_features(Tensor(features), union_edges)
+        nodes = self.encoder.forward_features(Tensor(features), union_edges,
+                                              edge_identity=union_keys)
         graph_vectors = segment_mean_pool(nodes, graph_ids, num_graphs)
         head_rows = offsets[:-1] + np.array([s.head_index() for s in subgraphs], dtype=np.int64)
         tail_rows = offsets[:-1] + np.array([s.tail_index() for s in subgraphs], dtype=np.int64)

@@ -16,7 +16,6 @@ the improved node labeling).
 from __future__ import annotations
 
 import dataclasses
-from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -30,6 +29,7 @@ from repro.core.relation_table import RelationComponentStore
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
 from repro.registry import register_model
+from repro.subgraph.provider import SubgraphProvider, masked_edges
 
 
 class DEKGILP(Module):
@@ -55,23 +55,32 @@ class DEKGILP(Module):
                 improved_labeling=self.config.improved_labeling,
                 max_subgraph_nodes=self.config.max_subgraph_nodes,
                 rng=rng,
+                dropout_seed=seed,
             )
             if self.config.use_topological
             else None
         )
         self._context_graph: Optional[KnowledgeGraph] = None
         self._tables: Optional[RelationComponentStore] = None
-        #: LRU of relation-agnostic extractions keyed by (head, tail, hops);
-        #: shared across the three prediction forms during ranking.  Valid
-        #: only for one CSR snapshot of the context graph: set_context and
-        #: in-place graph mutation both invalidate it.
-        self._subgraph_cache: "OrderedDict[tuple, object]" = OrderedDict()
-        self._subgraph_cache_limit = 4096
-        self._subgraph_cache_snapshot: Optional[object] = None
-        #: Cumulative lookup counters (survive set_context; see
-        #: :meth:`subgraph_cache_stats` / :meth:`reset_subgraph_cache_stats`).
-        self.subgraph_cache_hits = 0
-        self.subgraph_cache_misses = 0
+        #: Policy-driven store of relation-agnostic extractions, keyed by
+        #: (head, tail) per CSR snapshot and shared across the three
+        #: prediction forms during ranking.  Snapshot keying means in-place
+        #: graph mutation and context switches can never serve a stale
+        #: extraction; `subgraph_cache_snapshots > 1` keeps stores of
+        #: previously-seen contexts warm (cross-split persistence).
+        self.subgraph_provider: Optional[SubgraphProvider] = (
+            SubgraphProvider(
+                hops=self.config.subgraph_hops,
+                improved_labeling=self.config.improved_labeling,
+                max_nodes=self.config.max_subgraph_nodes,
+                policy=self.config.subgraph_cache_policy,
+                cache_size=self.config.subgraph_cache_size,
+                snapshots=self.config.subgraph_cache_snapshots,
+                batched=self.config.batched_extraction,
+            )
+            if self.config.use_topological
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # context management
@@ -87,7 +96,10 @@ class DEKGILP(Module):
             raise ValueError("context graph relation space does not match the model")
         self._context_graph = graph
         self._tables = RelationComponentStore(graph)
-        self._subgraph_cache.clear()
+        # The subgraph provider needs no explicit invalidation: extractions
+        # are keyed by CSR snapshot identity, so a different (or mutated)
+        # context graph can never be served stale entries, and re-binding
+        # the same graph keeps its extractions warm.
 
     @property
     def context_graph(self) -> KnowledgeGraph:
@@ -137,10 +149,11 @@ class DEKGILP(Module):
         block-diagonal GSM union graphs over cached relation-agnostic
         extractions) but returning one ``(n,)`` autodiff tensor so a whole
         batch of positives and negatives backpropagates through a single
-        graph.  With edge dropout disabled it is numerically equivalent to
-        stacking per-triple :meth:`forward` calls; with dropout enabled the
-        masks are drawn per union graph instead of per triple, which is a
-        different (equally valid) sample of the same dropout distribution.
+        graph.  It is numerically equivalent to stacking per-triple
+        :meth:`forward` calls — including with edge dropout enabled, because
+        dropout masks are counter-seeded per ``(seed, epoch, layer, edge)``
+        (:mod:`repro.gnn.edge_dropout`) rather than drawn from a stream, so
+        they do not depend on how the subgraphs are batched.
         """
         triples = list(triples)
         if not triples:
@@ -196,61 +209,54 @@ class DEKGILP(Module):
         what target-aware extraction would have dropped).
         """
         graph = self.context_graph
-        subgraphs = [self._cached_subgraph(graph, t.head, t.tail) for t in triples]
-        edges_list = []
-        for subgraph, triple in zip(subgraphs, triples):
-            edges = subgraph.edges
-            if graph.contains(triple.head, triple.relation, triple.tail):
-                head_local = subgraph.node_index[triple.head]
-                tail_local = subgraph.node_index[triple.tail]
-                keep = ~((edges[:, 0] == head_local)
-                         & (edges[:, 1] == triple.relation)
-                         & (edges[:, 2] == tail_local))
-                edges = edges[keep]
-            edges_list.append(edges)
+        subgraphs = self.subgraph_provider.get_many(
+            graph, [(t.head, t.tail) for t in triples])
+        edges_list = [masked_edges(graph, subgraph, triple)
+                      for subgraph, triple in zip(subgraphs, triples)]
         relations = [t.relation for t in triples]
         return self.gsm.score_batch_chunked(subgraphs, relations, edges_list)
 
-    def _cached_subgraph(self, graph: KnowledgeGraph, head: int, tail: int):
-        # The graph rebuilds its frozen CSR snapshot whenever a triple is
-        # added; a changed snapshot identity means every cached extraction
-        # is potentially stale.
-        snapshot = graph.adjacency()
-        if snapshot is not self._subgraph_cache_snapshot:
-            self._subgraph_cache.clear()
-            self._subgraph_cache_snapshot = snapshot
-        key = (head, tail, self.gsm.hops)
-        cached = self._subgraph_cache.get(key)
-        if cached is not None:
-            self.subgraph_cache_hits += 1
-            self._subgraph_cache.move_to_end(key)
-            return cached
-        self.subgraph_cache_misses += 1
-        subgraph = self.gsm.extract_pair(graph, head, tail)
-        self._subgraph_cache[key] = subgraph
-        if len(self._subgraph_cache) > self._subgraph_cache_limit:
-            self._subgraph_cache.popitem(last=False)
-        return subgraph
+    @property
+    def subgraph_cache_hits(self) -> int:
+        """Lifetime extraction-cache hits (0 when GSM is disabled)."""
+        return self.subgraph_provider.lifetime_hits if self.subgraph_provider else 0
 
-    def subgraph_cache_stats(self) -> Dict[str, float]:
-        """Cumulative extraction-cache counters and the derived hit rate.
+    @property
+    def subgraph_cache_misses(self) -> int:
+        """Lifetime extraction-cache misses (0 when GSM is disabled)."""
+        return self.subgraph_provider.lifetime_misses if self.subgraph_provider else 0
 
-        The counters span the model's lifetime (``set_context`` clears the
-        cache *entries* but not the counters, so cross-split reuse stays
-        visible); :meth:`reset_subgraph_cache_stats` rewinds them.  The hit
-        rate is ``nan`` until the first lookup.
+    def set_dropout_epoch(self, epoch: int) -> None:
+        """Advance the counter-seeded edge-dropout clock (see GSM)."""
+        if self.gsm is not None:
+            self.gsm.set_dropout_epoch(epoch)
+
+    def subgraph_cache_stats(self) -> Dict[str, object]:
+        """Extraction-cache counters at both scopes, plus the derived rates.
+
+        The historical ``hits`` / ``misses`` / ``hit_rate`` keys are the
+        **lifetime** counters: they span the model's life regardless of how
+        often the context switches, so cross-split reuse stays visible.  The
+        ``context_*`` keys rewind whenever the active graph snapshot changes
+        (``set_context`` to a new graph, in-place mutation), giving the
+        per-context picture alongside.  Rates are ``nan`` until the first
+        lookup in their scope; :meth:`reset_subgraph_cache_stats` rewinds
+        everything.
         """
-        lookups = self.subgraph_cache_hits + self.subgraph_cache_misses
-        return {
-            "hits": float(self.subgraph_cache_hits),
-            "misses": float(self.subgraph_cache_misses),
-            "hit_rate": self.subgraph_cache_hits / lookups if lookups else float("nan"),
-        }
+        if self.subgraph_provider is None:
+            nan = float("nan")
+            return {"hits": 0.0, "misses": 0.0, "hit_rate": nan,
+                    "lifetime_hits": 0.0, "lifetime_misses": 0.0,
+                    "lifetime_hit_rate": nan, "context_hits": 0.0,
+                    "context_misses": 0.0, "context_hit_rate": nan,
+                    "context_switches": 0.0, "entries": 0.0, "capacity": 0.0,
+                    "policy": "none", "stores": 0.0}
+        return self.subgraph_provider.stats()
 
     def reset_subgraph_cache_stats(self) -> None:
-        """Zero the cumulative hit/miss counters (the cache itself is kept)."""
-        self.subgraph_cache_hits = 0
-        self.subgraph_cache_misses = 0
+        """Zero both counter scopes (the cache contents are kept)."""
+        if self.subgraph_provider is not None:
+            self.subgraph_provider.reset_stats()
 
     # ------------------------------------------------------------------ #
     # introspection for the case study (Fig. 8)

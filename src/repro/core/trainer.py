@@ -39,9 +39,15 @@ class EpochRecord:
     """Batches whose gradients came back non-finite and were not applied."""
 
     cache_hit_rate: float = float("nan")
-    """Fraction of subgraph-extraction lookups served from the model's LRU
-    during this epoch (``nan`` when no lookups happened, e.g. on the
-    sequential path or with GSM disabled)."""
+    """Fraction of subgraph-extraction lookups served from the model's
+    provider cache during this epoch (``nan`` when no lookups happened, e.g.
+    on the sequential path or with GSM disabled)."""
+
+    lifetime_cache_hit_rate: float = float("nan")
+    """Cumulative provider hit rate over the model's whole lifetime as of
+    the end of this epoch.  Kept alongside the per-epoch rate so cumulative
+    history survives context switches (the provider keeps lifetime counters
+    separate from the per-context ones)."""
 
 
 @dataclass
@@ -85,9 +91,18 @@ class Trainer:
 
     ``TrainingConfig(batched=False)`` keeps the historical sequential path —
     one :meth:`DEKGILP.forward` graph per scored triple.  Both modes draw
-    identical negatives and contrastive pairs under the same seed, and with
-    edge dropout disabled they are numerically equivalent (verified by the
-    training benchmark and the equivalence tests).
+    identical negatives and contrastive pairs under the same seed and are
+    numerically equivalent — **including with edge dropout enabled**, since
+    dropout masks are counter-seeded per ``(seed, epoch, layer, edge)``
+    rather than consumed from a stream (verified by the training benchmark
+    and the equivalence tests).
+
+    Subgraph extraction goes through the model's
+    :class:`~repro.subgraph.provider.SubgraphProvider`: cache misses of a
+    batch are extracted in one multi-source BFS sweep, and the training
+    positives' ``(head, tail)`` pairs are pinned up front so a
+    corruption-aware cache policy keeps their extractions resident while the
+    uniformly-drawn corruptions churn through the LRU portion.
     """
 
     def __init__(self, model: DEKGILP, train_graph: KnowledgeGraph,
@@ -105,6 +120,12 @@ class Trainer:
         )
         self.optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate)
         self.history = TrainingHistory()
+        if self.model.subgraph_provider is not None:
+            # Every training triple is a positive in every epoch; pinning its
+            # extraction (honoured by the corruption-aware policy, a no-op
+            # otherwise) keeps the recurring half of the workload warm.
+            self.model.subgraph_provider.pin_pairs(
+                train_graph, {(t.head, t.tail) for t in train_graph.triples})
 
     # ------------------------------------------------------------------ #
     def _batches(self, triples: Sequence[Triple]) -> List[List[Triple]]:
@@ -187,6 +208,7 @@ class Trainer:
     def train_epoch(self, epoch: int = 0) -> EpochRecord:
         """Run one pass over the training triples and return the loss breakdown."""
         self.model.train()
+        self.model.set_dropout_epoch(epoch)
         start = time.perf_counter()
         triples = self.train_graph.triples
         ranking_total = 0.0
@@ -217,6 +239,7 @@ class Trainer:
         n_batches = max(1, len(batches) - skipped)
         epoch_hits = self.model.subgraph_cache_hits - hits_before
         epoch_lookups = epoch_hits + self.model.subgraph_cache_misses - misses_before
+        lifetime_lookups = self.model.subgraph_cache_hits + self.model.subgraph_cache_misses
         record = EpochRecord(
             epoch=epoch,
             total_loss=(ranking_total + self.config.contrastive_weight * contrastive_total) / n_batches,
@@ -225,6 +248,8 @@ class Trainer:
             seconds=time.perf_counter() - start,
             skipped_batches=skipped,
             cache_hit_rate=epoch_hits / epoch_lookups if epoch_lookups else float("nan"),
+            lifetime_cache_hit_rate=(self.model.subgraph_cache_hits / lifetime_lookups
+                                     if lifetime_lookups else float("nan")),
         )
         self.history.append(record)
         if self.config.verbose:

@@ -130,7 +130,26 @@ class ShardWorkload:
         return rank_candidates(float(scores[0]), scores[1:])
 
     def run(self, model, start: int, stop: int) -> EvaluationResult:
-        """Rank items ``[start, stop)`` and return the partial result."""
+        """Rank items ``[start, stop)`` and return the partial result.
+
+        Models backed by a :class:`repro.subgraph.provider.SubgraphProvider`
+        get their shard's true ``(head, tail)`` pairs pinned up front: every
+        work item re-scores its true triple against a fresh churn of
+        corrupted candidates, so under a corruption-aware cache policy the
+        recurring true-pair extractions stay resident for the whole shard.
+        """
+        provider = getattr(model, "subgraph_provider", None)
+        if provider is not None and stop > start:
+            try:
+                graph = model.context_graph
+            except RuntimeError:  # scoring without a context fails later anyway
+                graph = None
+            if graph is not None:
+                forms = len(self.forms)
+                provider.pin_pairs(
+                    graph,
+                    {(t.head, t.tail)
+                     for t in self.triples[start // forms:(stop - 1) // forms + 1]})
         result = self._empty_result()
         for item in range(start, stop):
             rank = self.rank_item(model, item)

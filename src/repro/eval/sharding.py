@@ -24,7 +24,12 @@ Three properties make the fan-out deterministic and spawn-safe:
   (autodiff graph state never crosses the process boundary); any other model
   implementing the ``set_context`` / ``score_many`` protocol is pickled.
   Workers rebuild the replica once in their initializer and re-bind the
-  context graph with ``set_context``.
+  context graph with ``set_context``.  Subgraph-provider state never
+  travels either: a replica's constructor builds a fresh, empty
+  :class:`repro.subgraph.provider.SubgraphProvider` from the checkpointed
+  config (policy, capacity, batched extraction), so each worker's cache
+  warms on its own shards — per-model caches shard cleanly because caches
+  only change wall clock, never scores.
 
 The ``spawn`` start method is used unconditionally: it is the only method
 available everywhere, and it guarantees workers import a fresh interpreter

@@ -412,6 +412,15 @@ class Experiment:
                 "metrics": result.summary(),
                 "config": effective.to_dict(),
             }
+            cache_stats = getattr(self._model, "subgraph_cache_stats", None)
+            if callable(cache_stats):
+                # Extraction-cache effectiveness of the run (lifetime and
+                # per-context scopes); NaN rates become null for strict JSON.
+                metrics["subgraph_cache"] = {
+                    key: (None if isinstance(value, float) and value != value
+                          else value)
+                    for key, value in cache_stats().items()
+                }
             run.metrics_path = directory / "metrics.json"
             run.metrics_path.write_text(json.dumps(metrics, indent=2) + "\n",
                                         encoding="utf-8")

@@ -9,6 +9,7 @@ import numpy as np
 from repro.autodiff.layers import Linear
 from repro.autodiff.module import Module
 from repro.autodiff.tensor import Tensor
+from repro.gnn.edge_dropout import DropoutClock, edge_keys
 from repro.gnn.pooling import mean_pool_nodes
 from repro.gnn.rgcn import RGCNLayer
 from repro.subgraph.extraction import ExtractedSubgraph
@@ -25,25 +26,34 @@ class SubgraphEncoder(Module):
 
     def __init__(self, input_dim: int, hidden_dim: int, num_relations: int,
                  num_layers: int = 2, num_bases: int = 4, dropout: float = 0.0,
-                 use_attention: bool = True, rng: Optional[np.random.Generator] = None):
+                 use_attention: bool = True, rng: Optional[np.random.Generator] = None,
+                 dropout_seed: Optional[int] = None):
         super().__init__()
         if num_layers < 1:
             raise ValueError("num_layers must be >= 1")
         rng = rng or np.random.default_rng()
+        #: Shared (seed, epoch) counter for the layers' per-edge dropout —
+        #: trainers advance `dropout_clock.epoch` so masks are redrawn per
+        #: epoch but agree across batching strategies within one.
+        self.dropout_clock = DropoutClock(dropout_seed if dropout_seed is not None else 0)
         self.input_projection = Linear(input_dim, hidden_dim, rng=rng)
         self.layers = [
             RGCNLayer(hidden_dim, hidden_dim, num_relations, num_bases=num_bases,
-                      use_attention=use_attention, dropout=dropout, rng=rng)
-            for _ in range(num_layers)
+                      use_attention=use_attention, dropout=dropout, rng=rng,
+                      clock=self.dropout_clock, layer_index=index)
+            for index in range(num_layers)
         ]
         self.hidden_dim = hidden_dim
         self.num_layers = num_layers
 
     def forward(self, subgraph: ExtractedSubgraph) -> Tensor:
         """Return the ``(num_nodes, hidden_dim)`` matrix of node representations."""
-        return self.forward_features(Tensor(subgraph.node_features), subgraph.edges)
+        return self.forward_features(Tensor(subgraph.node_features), subgraph.edges,
+                                     edge_identity=edge_keys(subgraph.nodes,
+                                                             subgraph.edges))
 
-    def forward_features(self, features: Tensor, edges: np.ndarray) -> Tensor:
+    def forward_features(self, features: Tensor, edges: np.ndarray,
+                         edge_identity: Optional[np.ndarray] = None) -> Tensor:
         """Run the GNN stack on raw node features and an edge array.
 
         This is the substrate shared by single-subgraph encoding and the
@@ -51,10 +61,14 @@ class SubgraphEncoder(Module):
         several subgraphs concatenated into one block-diagonal union graph
         (node rows stacked, edge indices offset per block) encode in a single
         pass with results identical to encoding each subgraph separately.
+        ``edge_identity`` carries the per-edge global-identity keys the
+        counter-seeded dropout draws masks from; passing the concatenated
+        per-block keys is what keeps union-graph dropout equal to per-
+        subgraph dropout.
         """
         hidden = self.input_projection(features)
         for layer in self.layers:
-            hidden = layer(hidden, edges)
+            hidden = layer(hidden, edges, edge_identity=edge_identity)
         return hidden
 
     def encode(self, subgraph: ExtractedSubgraph) -> tuple[Tensor, Tensor, Tensor]:

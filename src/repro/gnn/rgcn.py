@@ -15,9 +15,10 @@ import numpy as np
 
 from repro.autodiff import functional as F
 from repro.autodiff import init
-from repro.autodiff.layers import Dropout, Linear
+from repro.autodiff.layers import Linear
 from repro.autodiff.module import Module, Parameter
 from repro.autodiff.tensor import Tensor
+from repro.gnn.edge_dropout import DropoutClock, counter_dropout_mask, edge_keys
 from repro.gnn.message_passing import aggregate_messages, degree_normalization
 
 
@@ -37,12 +38,23 @@ class RGCNLayer(Module):
     use_attention:
         Enable the GraIL-style edge attention gate.
     dropout:
-        Edge dropout rate β applied to messages during training.
+        Edge dropout rate β applied to messages during training.  Masks are
+        drawn from a ``(seed, epoch, layer, edge)`` counter
+        (:mod:`repro.gnn.edge_dropout`), not a shared stream, so an edge's
+        keep/drop decision does not depend on how subgraphs are batched.
+    clock:
+        Shared :class:`~repro.gnn.edge_dropout.DropoutClock` carrying the
+        counter's ``(seed, epoch)``; a private clock (seed 0) is created when
+        omitted (standalone layer usage).
+    layer_index:
+        This layer's position in its stack — the counter's layer salt, so
+        stacked layers draw independent masks.
     """
 
     def __init__(self, in_dim: int, out_dim: int, num_relations: int,
                  num_bases: int = 4, use_attention: bool = True,
-                 dropout: float = 0.0, rng: Optional[np.random.Generator] = None):
+                 dropout: float = 0.0, rng: Optional[np.random.Generator] = None,
+                 clock: Optional[DropoutClock] = None, layer_index: int = 0):
         super().__init__()
         if num_bases < 1:
             raise ValueError("num_bases must be >= 1")
@@ -62,7 +74,11 @@ class RGCNLayer(Module):
             self.attention = Linear(2 * in_dim + out_dim, 1, rng=rng)
         else:
             self.attention = None
-        self.edge_dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+        if not 0.0 <= dropout < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.dropout_rate = dropout
+        self.dropout_clock = clock if clock is not None else DropoutClock(0)
+        self.layer_index = layer_index
         self.relation_embedding = Parameter(init.xavier_uniform((num_relations, out_dim), rng=rng))
 
     # ------------------------------------------------------------------ #
@@ -96,11 +112,18 @@ class RGCNLayer(Module):
         weighted = projected * coeff.reshape(num_edges, self.num_bases, 1)
         return weighted.sum(axis=1)
 
-    def forward(self, node_features: Tensor, edges: np.ndarray) -> Tensor:
+    def forward(self, node_features: Tensor, edges: np.ndarray,
+                edge_identity: Optional[np.ndarray] = None) -> Tensor:
         """Run one round of relational message passing.
 
         ``edges`` is an ``(E, 3)`` integer array of (source, relation,
-        destination) *local* node indices.
+        destination) *local* node indices.  ``edge_identity`` optionally
+        carries per-edge uint64 keys hashing each edge's *global*
+        ``(head, relation, tail)`` identity (see
+        :func:`repro.gnn.edge_dropout.edge_keys`); training-time dropout
+        masks are drawn from them, so the same graph edge gets the same mask
+        in every subgraph and union-graph composition.  Without keys the
+        local edge triple is hashed instead (standalone layer usage).
         """
         num_nodes = node_features.shape[0]
         self_message = node_features @ self.self_weight
@@ -116,6 +139,14 @@ class RGCNLayer(Module):
         source_features = node_features.gather_rows(sources)  # (E, in_dim)
         messages = self.edge_messages(source_features, relations)  # (E, out_dim)
 
+        dropout_gate = None
+        if self.training and self.dropout_rate > 0:
+            if edge_identity is None:
+                edge_identity = edge_keys(np.arange(num_nodes, dtype=np.int64), edges)
+            dropout_gate = Tensor(counter_dropout_mask(
+                self.dropout_clock, self.layer_index, edge_identity,
+                self.dropout_rate))
+
         if self.attention is not None:
             destination_features = node_features.gather_rows(destinations)
             relation_features = self.relation_embedding.gather_rows(relations)
@@ -123,12 +154,10 @@ class RGCNLayer(Module):
                 [source_features, destination_features, relation_features], axis=1
             )
             gate = self.attention(attention_input).sigmoid()  # (E, 1)
-            if self.edge_dropout is not None:
-                gate = self.edge_dropout(gate)
-        elif self.edge_dropout is not None:
-            gate = self.edge_dropout(Tensor(np.ones((len(sources), 1))))
+            if dropout_gate is not None:
+                gate = gate * dropout_gate
         else:
-            gate = None
+            gate = dropout_gate
 
         # Fold the scalar degree normalization into the (E, 1) gate so the
         # per-edge message matrix is scaled once, not twice.

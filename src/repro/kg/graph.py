@@ -55,6 +55,8 @@ class TraversalScratch:
         self.num_nodes = num_nodes
         self._bool_masks: List[np.ndarray] = []
         self._index_maps: List[np.ndarray] = []
+        self._mask_matrices: Dict[int, List[np.ndarray]] = {}
+        self._index_matrices: Dict[int, List[np.ndarray]] = {}
 
     def borrow_mask(self) -> np.ndarray:
         """A ``(num_nodes,)`` boolean mask, guaranteed all ``False``."""
@@ -79,6 +81,54 @@ class TraversalScratch:
         for entry in touched:
             index_map[entry] = -1
         self._index_maps.append(index_map)
+
+    # -- stacked (per-source-row) variants for batched multi-source BFS ---- #
+    @staticmethod
+    def _row_bucket(rows: int) -> int:
+        """Round a row request up to the next power of two.
+
+        Batch sizes vary call to call (the pending-miss count shrinks as a
+        cache warms), so pooling by *exact* row count would park one matrix
+        per distinct size for the snapshot's lifetime; bucketing bounds the
+        pool at O(log max_rows) matrices.  Callers only index rows
+        ``< rows``, so handing back a taller matrix is safe.
+        """
+        return 1 << max(0, rows - 1).bit_length()
+
+    def borrow_mask_matrix(self, rows: int) -> np.ndarray:
+        """A ``(>= rows, num_nodes)`` boolean matrix, guaranteed all ``False``.
+
+        Batched extraction keeps one row of per-source BFS state per frontier;
+        pooling keeps the per-batch cost proportional to what the sweep
+        actually touches instead of O(rows * num_nodes) fresh zeros.
+        """
+        bucket = self._row_bucket(rows)
+        pool = self._mask_matrices.get(bucket)
+        if pool:
+            return pool.pop()
+        return np.zeros((bucket, self.num_nodes), dtype=bool)
+
+    def release_mask_matrix(self, matrix: np.ndarray, touched_flat: Iterable) -> None:
+        """Return a mask matrix after clearing the touched *flat* indices."""
+        flat = matrix.reshape(-1)
+        for entry in touched_flat:
+            flat[entry] = False
+        self._mask_matrices.setdefault(matrix.shape[0], []).append(matrix)
+
+    def borrow_index_matrix(self, rows: int) -> np.ndarray:
+        """A ``(>= rows, num_nodes)`` int64 matrix, guaranteed all ``-1``."""
+        bucket = self._row_bucket(rows)
+        pool = self._index_matrices.get(bucket)
+        if pool:
+            return pool.pop()
+        return np.full((bucket, self.num_nodes), -1, dtype=np.int64)
+
+    def release_index_matrix(self, matrix: np.ndarray, touched_flat: Iterable) -> None:
+        """Return an index matrix after resetting the touched flat indices."""
+        flat = matrix.reshape(-1)
+        for entry in touched_flat:
+            flat[entry] = -1
+        self._index_matrices.setdefault(matrix.shape[0], []).append(matrix)
 
 
 @dataclass(frozen=True)

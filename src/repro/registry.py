@@ -33,6 +33,15 @@ instantiated as ``factory(num_entities=..., num_relations=...,
 embedding_dim=..., seed=..., **overrides)``; trainer-driven factories
 additionally accept ``config=`` with a pre-built instance of
 ``config_class`` (overrides are ignored when an explicit config is passed).
+
+Because :func:`allowed_override_keys` is derived from the config class (or
+the constructor signature), new hyper-parameters are exposed through the
+whole stack the moment they are added: the subgraph-provider knobs
+(``subgraph_cache_policy`` / ``subgraph_cache_size`` /
+``subgraph_cache_snapshots`` / ``batched_extraction`` on ``ModelConfig``,
+``cache_policy`` / ``cache_size`` on the subgraph-reasoning baselines) are
+valid ``ExperimentConfig.model.overrides``, grid-search axes and CLI
+``--cache-policy`` / ``--cache-size`` targets with no registry changes.
 """
 
 from __future__ import annotations

@@ -108,6 +108,38 @@ def collect_induced_edges(graph: KnowledgeGraph, nodes: List[int],
         scratch.release_index_map(local, [nodes_arr])
 
 
+def _region_candidates(head_region: Set[int], tail_region: Set[int],
+                       head: int, tail: int, improved_labeling: bool) -> Set[int]:
+    """Candidate node set from the two k-hop regions (union vs GraIL pruning).
+
+    Shared verbatim by the per-pair and the batched extraction paths: the set
+    operations (and therefore the set iteration order, which the
+    ``max_nodes`` cap's stable degree sort ties break on) must be identical
+    for the two paths to produce bit-identical subgraphs.
+    """
+    if improved_labeling:
+        return head_region | tail_region
+    return (head_region & tail_region) | {head, tail}
+
+
+def _cap_labels(graph: KnowledgeGraph, labels: Dict[int, Tuple[int, int]],
+                head: int, tail: int, max_nodes: int) -> Dict[int, Tuple[int, int]]:
+    """Cap the subgraph size for tractability, keeping the endpoints.
+
+    The highest-degree overflow nodes are dropped first; the stable sort
+    breaks degree ties in label-insertion order, which is why both extraction
+    paths construct ``labels`` through identical set/dict operations.
+    """
+    if len(labels) <= max_nodes:
+        return labels
+    keep = {head, tail}
+    others = sorted((node for node in labels if node not in keep),
+                    key=lambda n: graph.degree(n))
+    for node in others[: max_nodes - len(keep)]:
+        keep.add(node)
+    return {node: lab for node, lab in labels.items() if node in keep}
+
+
 def extract_enclosing_subgraph(graph: KnowledgeGraph, target: Triple, hops: int = 2,
                                improved_labeling: bool = True,
                                max_nodes: int = 200,
@@ -138,10 +170,8 @@ def extract_enclosing_subgraph(graph: KnowledgeGraph, target: Triple, hops: int 
     head, tail = target.head, target.tail
     head_region = k_hop_neighborhood(graph, head, hops)
     tail_region = k_hop_neighborhood(graph, tail, hops)
-    if improved_labeling:
-        candidate_nodes: Set[int] = head_region | tail_region
-    else:
-        candidate_nodes = (head_region & tail_region) | {head, tail}
+    candidate_nodes = _region_candidates(head_region, tail_region, head, tail,
+                                         improved_labeling)
 
     distances_to_head = shortest_path_lengths(graph, head, candidate_nodes,
                                               max_distance=hops, forbidden={tail})
@@ -149,15 +179,7 @@ def extract_enclosing_subgraph(graph: KnowledgeGraph, target: Triple, hops: int 
                                               max_distance=hops, forbidden={head})
     labels = label_nodes(distances_to_head, distances_to_tail, candidate_nodes,
                          head, tail, hops, improved=improved_labeling)
-
-    # Cap the subgraph size for tractability, keeping the endpoints.
-    if len(labels) > max_nodes:
-        keep = {head, tail}
-        others = sorted((node for node in labels if node not in keep),
-                        key=lambda n: graph.degree(n))
-        for node in others[: max_nodes - len(keep)]:
-            keep.add(node)
-        labels = {node: lab for node, lab in labels.items() if node in keep}
+    labels = _cap_labels(graph, labels, head, tail, max_nodes)
 
     features, node_index = node_label_features(labels, hops)
     nodes = sorted(labels)

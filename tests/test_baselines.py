@@ -255,8 +255,8 @@ class TestGrailAndTACT:
         # the behaviour that makes TACT collapse on bridging links.
         model = TACT(num_relations=3, embedding_dim=8, edge_dropout=0.0, seed=0)
         subgraph = model.gsm.extract(small_train_graph, Triple(0, 0, 5))
-        head_counts = model._subgraph_relation_counts(subgraph, subgraph.head_index())
-        tail_counts = model._subgraph_relation_counts(subgraph, subgraph.tail_index())
+        head_counts = model._subgraph_relation_counts(subgraph.edges, subgraph.head_index())
+        tail_counts = model._subgraph_relation_counts(subgraph.edges, subgraph.tail_index())
         assert head_counts.sum() == 0
         assert tail_counts.sum() == 0
 

@@ -151,3 +151,79 @@ class TestSubgraphEncoder:
         assert np.isfinite(graph_vec.data).all()
         assert np.isfinite(head_vec.data).all()
         assert np.isfinite(tail_vec.data).all()
+
+
+class TestCounterEdgeDropout:
+    """The (seed, epoch, layer, edge) counter behind training-time dropout."""
+
+    def test_uniform_from_keys_deterministic_and_salted(self):
+        from repro.gnn.edge_dropout import uniform_from_keys
+
+        keys = np.arange(1000, dtype=np.uint64)
+        first = uniform_from_keys(keys, 3, 1, 0)
+        np.testing.assert_array_equal(first, uniform_from_keys(keys, 3, 1, 0))
+        for other_salts in ((4, 1, 0), (3, 2, 0), (3, 1, 1)):
+            assert not np.array_equal(first, uniform_from_keys(keys, *other_salts))
+        assert first.min() >= 0.0 and first.max() < 1.0
+        # Roughly uniform: the mean of 1000 variates sits near 0.5.
+        assert abs(first.mean() - 0.5) < 0.05
+
+    def test_edge_keys_are_global_identities(self):
+        from repro.gnn.edge_dropout import edge_keys
+
+        edges = np.array([[0, 1, 2], [1, 0, 0]], dtype=np.int64)
+        # Different global node mappings must hash differently; the same
+        # mapping must hash identically regardless of call site.
+        nodes_a = [10, 11, 12]
+        nodes_b = [10, 11, 13]
+        np.testing.assert_array_equal(edge_keys(nodes_a, edges),
+                                      edge_keys(nodes_a, edges))
+        assert not np.array_equal(edge_keys(nodes_a, edges),
+                                  edge_keys(nodes_b, edges))
+        assert edge_keys(nodes_a, np.zeros((0, 3), dtype=np.int64)).shape == (0,)
+
+    def test_mask_epoch_advances_redraw(self):
+        from repro.gnn.edge_dropout import (DropoutClock, counter_dropout_mask,
+                                            edge_keys)
+
+        clock = DropoutClock(seed=7)
+        edges = np.column_stack([np.arange(64), np.zeros(64, dtype=np.int64),
+                                 np.arange(1, 65)]).astype(np.int64)
+        keys = edge_keys(np.arange(65), edges)
+        first = counter_dropout_mask(clock, 0, keys, rate=0.5)
+        assert first.shape == (64, 1)
+        np.testing.assert_array_equal(first, counter_dropout_mask(clock, 0, keys, 0.5))
+        # Advancing the epoch redraws the masks for the very same edges.
+        clock.epoch = 1
+        redrawn = counter_dropout_mask(clock, 0, keys, rate=0.5)
+        assert not np.array_equal(first, redrawn)
+        # Inverted dropout: kept entries scale by 1 / (1 - rate).
+        assert set(np.unique(first)).issubset({0.0, 2.0})
+
+    def test_union_graph_masks_equal_per_subgraph_masks(self):
+        """The property the whole trainer-parity guarantee rests on."""
+        graph = KnowledgeGraph(8, 2, [Triple(0, 0, 1), Triple(1, 1, 2),
+                                      Triple(2, 0, 3), Triple(4, 1, 5)])
+        encoder = SubgraphEncoder(input_dim=6, hidden_dim=4, num_relations=2,
+                                  dropout=0.5, rng=np.random.default_rng(0),
+                                  dropout_seed=11)
+        encoder.train()
+        left = extract_enclosing_subgraph(graph, Triple(0, 0, 3), hops=2)
+        right = extract_enclosing_subgraph(graph, Triple(4, 1, 5), hops=2)
+        separate = [encoder(left).data.copy(), encoder(right).data.copy()]
+        # Same subgraphs concatenated into one block-diagonal union graph.
+        from repro.gnn.edge_dropout import edge_keys
+
+        offset = left.num_nodes
+        shifted = right.edges.copy()
+        if shifted.size:
+            shifted[:, 0] += offset
+            shifted[:, 2] += offset
+        union_edges = np.concatenate([left.edges, shifted])
+        union_keys = np.concatenate([edge_keys(left.nodes, left.edges),
+                                     edge_keys(right.nodes, right.edges)])
+        features = Tensor(np.concatenate([left.node_features, right.node_features]))
+        union = encoder.forward_features(features, union_edges,
+                                         edge_identity=union_keys).data
+        np.testing.assert_allclose(union[:offset], separate[0], atol=1e-12)
+        np.testing.assert_allclose(union[offset:], separate[1], atol=1e-12)

@@ -2,8 +2,11 @@
 
 The batched Trainer path must be a pure performance change: same negatives,
 same contrastive pairs, same losses, same parameter trajectory as the
-sequential per-triple path under a fixed seed (edge dropout disabled — with
-dropout the mask draws differ by construction).
+sequential per-triple path under a fixed seed — with edge dropout disabled
+*and* enabled.  Dropout masks are counter-seeded per
+``(seed, epoch, layer, edge)`` (:mod:`repro.gnn.edge_dropout`), so an edge's
+keep/drop decision does not depend on how subgraphs are batched into union
+graphs.
 """
 
 from __future__ import annotations
@@ -34,8 +37,10 @@ def training_graph() -> KnowledgeGraph:
 
 
 def _fit(graph: KnowledgeGraph, batched: bool, epochs: int = 2,
-         use_semantic: bool = True, use_topological: bool = True):
-    model_config = ModelConfig(embedding_dim=8, gnn_hidden_dim=8, edge_dropout=0.0,
+         use_semantic: bool = True, use_topological: bool = True,
+         edge_dropout: float = 0.0):
+    model_config = ModelConfig(embedding_dim=8, gnn_hidden_dim=8,
+                               edge_dropout=edge_dropout,
                                use_semantic=use_semantic,
                                use_topological=use_topological)
     training_config = TrainingConfig(epochs=epochs, batch_size=8, seed=0,
@@ -64,6 +69,27 @@ class TestBatchedSequentialEquivalence:
             np.testing.assert_allclose(
                 param_b.data, param_s.data, rtol=0.0, atol=1e-8,
                 err_msg=f"parameter {name} diverged between batched and sequential")
+
+    def test_epoch_losses_match_with_dropout_enabled(self, training_graph):
+        """Counter-seeded masks make the two paths equal with dropout ON."""
+        model_b, _, batched = _fit(training_graph, batched=True, edge_dropout=0.5)
+        model_s, _, sequential = _fit(training_graph, batched=False, edge_dropout=0.5)
+        np.testing.assert_allclose(batched.losses(), sequential.losses(),
+                                   rtol=0.0, atol=1e-8)
+        for (name, param_b), (_, param_s) in zip(model_b.named_parameters(),
+                                                 model_s.named_parameters()):
+            np.testing.assert_allclose(
+                param_b.data, param_s.data, rtol=0.0, atol=1e-8,
+                err_msg=f"parameter {name} diverged with dropout enabled")
+
+    def test_dropout_masks_redraw_across_epochs_and_differ_from_off(self, training_graph):
+        model, _, with_dropout = _fit(training_graph, batched=True, epochs=2,
+                                      edge_dropout=0.5)
+        _, _, without = _fit(training_graph, batched=True, epochs=2)
+        assert with_dropout.losses() != without.losses()
+        # The trainer must have advanced the dropout clock every epoch —
+        # frozen-clock regressions would silently reuse epoch-0 masks.
+        assert model.gsm.encoder.dropout_clock.epoch == 1
 
     def test_equivalence_holds_per_module_ablation(self, training_graph):
         for use_semantic, use_topological in ((True, False), (False, True)):
