@@ -26,7 +26,7 @@ import os
 import time
 from typing import Dict, List
 
-from common import print_banner
+from common import bench_env, print_banner
 from repro.core.config import ModelConfig
 from repro.core.model import DEKGILP
 from repro.datasets.benchmark import build_benchmark
@@ -66,6 +66,7 @@ def _write_json(results: List[Dict], cores: int) -> None:
     """Append this run to the tracked history (keeps prior runs' numbers)."""
     run = {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "env": bench_env(),
         "usable_cores": cores,
         "config": {
             "dataset": "fb15k-237",

@@ -34,7 +34,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from common import print_banner
+from common import bench_env, print_banner
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
 from repro.subgraph.extraction import extract_enclosing_subgraph
@@ -133,6 +133,7 @@ def _write_json(rows: List[Dict]) -> None:
     """Append this run to the tracked history (keeps prior runs' numbers)."""
     run = {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "env": bench_env(),
         "config": {"hops": HOPS, "batch": BATCH, "repeats": REPEATS},
         "results": rows,
     }

@@ -31,7 +31,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from common import print_banner
+from common import bench_env, print_banner
 from repro.core.config import ModelConfig, TrainingConfig
 from repro.core.model import DEKGILP
 from repro.core.trainer import Trainer
@@ -98,6 +98,7 @@ def _write_json(rows: List[Dict]) -> None:
     """Append this run to the tracked history (keeps prior runs' numbers)."""
     run = {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "env": bench_env(),
         "config": {
             "epochs": EPOCHS,
             "batch_size": BATCH_SIZE,

@@ -20,6 +20,7 @@ import os
 from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
+from repro.backend import active_backend, thread_counts
 from repro.datasets.benchmark import BenchmarkDataset, build_benchmark, dataset_names, split_names
 from repro.eval.evaluator import EvaluationResult, Evaluator
 from repro.experiment import train_model
@@ -86,6 +87,21 @@ def get_evaluation(model_name: str, dataset_name: str, split: str,
     if MAX_TEST_TRIPLES is not None:
         test_triples = test_triples[:MAX_TEST_TRIPLES]
     return evaluator.evaluate(model, test_triples=test_triples, model_name=model_name)
+
+
+def bench_env() -> Dict:
+    """Execution-environment block recorded in every ``BENCH_*.json`` run.
+
+    Perf numbers from different machines/configurations are only comparable
+    when the array backend, its dtype policy and the BLAS/OMP threading
+    situation are known; this captures all three.
+    """
+    backend = active_backend()
+    return {
+        "backend": backend.name,
+        "dtype_policy": backend.dtype_policy(),
+        "threads": thread_counts(),
+    }
 
 
 def print_banner(title: str) -> None:

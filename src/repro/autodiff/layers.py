@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
-import numpy as np
+from repro.backend import active_backend
 
 from repro.autodiff import functional as F
 from repro.autodiff import init
@@ -16,7 +16,7 @@ class Linear(Module):
     """Affine transformation ``y = x W + b``."""
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[Any] = None):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
@@ -34,14 +34,14 @@ class Embedding(Module):
     """A lookup table of learned vectors, indexed by integer ids."""
 
     def __init__(self, num_embeddings: int, embedding_dim: int,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[Any] = None):
         super().__init__()
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.weight = Parameter(init.xavier_uniform((num_embeddings, embedding_dim), rng=rng))
 
     def forward(self, indices) -> Tensor:
-        indices = np.asarray(indices, dtype=np.int64)
+        indices = active_backend().asindex(indices)
         if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
             raise IndexError(
                 f"embedding index out of range [0, {self.num_embeddings}): "
@@ -55,17 +55,31 @@ class Embedding(Module):
 
 
 class Dropout(Module):
-    """Inverted dropout; active only while the module is in training mode."""
+    """Inverted dropout; active only while the module is in training mode.
 
-    def __init__(self, rate: float, rng: Optional[np.random.Generator] = None):
+    With ``seed`` set, masks are counter-seeded — a pure function of
+    ``(seed, forward-call counter, element index)``, bit-identical across
+    backends and platforms (see :func:`repro.autodiff.functional.dropout`).
+    ``rng`` is the legacy stream interface and draws a per-call seed from
+    the generator instead.
+    """
+
+    def __init__(self, rate: float, rng: Optional[Any] = None,
+                 seed: Optional[int] = None):
         super().__init__()
         if not 0.0 <= rate < 1.0:
             raise ValueError("dropout rate must be in [0, 1)")
         self.rate = rate
-        self._rng = rng or np.random.default_rng()
+        self.seed = seed
+        self._rng = rng
+        self._counter = 0
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.dropout(x, self.rate, training=self.training, rng=self._rng)
+        out = F.dropout(x, self.rate, training=self.training,
+                        rng=self._rng, seed=self.seed, counter=self._counter)
+        if self.training and self.rate > 0.0:
+            self._counter += 1
+        return out
 
 
 class ReLU(Module):

@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
-
-import numpy as np
+from typing import Any, Dict, Iterator, Optional
 
 from repro.autodiff.tensor import Tensor
 
@@ -100,11 +98,11 @@ class Module:
         """Total number of scalar parameters (used for the complexity study)."""
         return int(sum(param.size for param in self.parameters()))
 
-    def state_dict(self) -> Dict[str, np.ndarray]:
+    def state_dict(self) -> Dict[str, Any]:
         """Return a copy of every parameter keyed by its dotted name."""
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
         """Load parameter values saved by :meth:`state_dict`."""
         own = dict(self.named_parameters())
         missing = set(own) - set(state)

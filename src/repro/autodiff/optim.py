@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+import math
+from typing import Any, Iterable, List, Optional
 
-import numpy as np
+from repro.backend import xp
 
 from repro.autodiff.module import Parameter
 
@@ -28,12 +29,12 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float,
     params = [p for p in parameters if p.grad is not None]
     if not params:
         return 0.0
-    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
-    if not np.isfinite(total):
+    total = math.sqrt(sum(float((p.grad ** 2).sum()) for p in params))
+    if not math.isfinite(total):
         if error_if_nonfinite:
             raise ValueError(f"gradient norm is non-finite ({total})")
         for p in params:
-            p.grad = np.zeros_like(p.grad)
+            p.grad = xp.zeros_like(p.grad)
         return total
     if total > max_norm and total > 0.0:
         scale = max_norm / total
@@ -67,11 +68,11 @@ class SGD(Optimizer):
         self.lr = lr
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity: Optional[List[np.ndarray]] = None
+        self._velocity: Optional[List[Any]] = None
 
     def step(self) -> None:
         if self.momentum and self._velocity is None:
-            self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+            self._velocity = [xp.zeros_like(p.data) for p in self.parameters]
         for index, param in enumerate(self.parameters):
             if param.grad is None:
                 continue
@@ -96,8 +97,8 @@ class Adam(Optimizer):
         self.eps = eps
         self.weight_decay = weight_decay
         self._step = 0
-        self._m = [np.zeros_like(p.data) for p in self.parameters]
-        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._m = [xp.zeros_like(p.data) for p in self.parameters]
+        self._v = [xp.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         self._step += 1
@@ -113,4 +114,4 @@ class Adam(Optimizer):
             self._v[index] = self.beta2 * self._v[index] + (1.0 - self.beta2) * grad ** 2
             m_hat = self._m[index] / bias_correction1
             v_hat = self._v[index] / bias_correction2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.data = param.data - self.lr * m_hat / (xp.sqrt(v_hat) + self.eps)

@@ -1,9 +1,16 @@
 """Reverse-mode autodiff tensor.
 
-The :class:`Tensor` class wraps a numpy array and builds a dynamic
-computation graph as operations are applied.  Calling :meth:`Tensor.backward`
-on a scalar tensor propagates gradients to every tensor in the graph with
-``requires_grad=True``.
+The :class:`Tensor` class wraps an array of the **active backend** (see
+:mod:`repro.backend`) and builds a dynamic computation graph as operations
+are applied.  Calling :meth:`Tensor.backward` on a scalar tensor propagates
+gradients to every tensor in the graph with ``requires_grad=True``.
+
+All array creation and kernel dispatch route through the backend seam: the
+``xp`` proxy for numpy-compatible compute (``xp.exp``, ``xp.zeros_like``)
+and :func:`repro.backend.active_backend` for the dtype policy and the
+scatter/gather kernel set.  Under the default numpy backend behaviour is
+exactly what a hard-coded ``import numpy`` gave; under other backends the
+same graph runs on their arrays.
 
 The implementation intentionally supports only the operations needed by the
 DEKG-ILP reproduction (dense linear algebra, elementwise math, reductions,
@@ -17,9 +24,10 @@ first-class indexed primitives used by the GNN message-passing hot path.  They
 are exact adjoints of each other:
 
 * ``scatter_add(src, index, n)`` sums rows of ``src`` into ``n`` output rows
-  (forward ``np.add.at``; backward is a row gather of the output gradient).
+  (forward is the backend's ``scatter_rows`` kernel; backward is a row gather
+  of the output gradient).
 * ``gather(src, index)`` selects rows (forward fancy indexing; backward is a
-  ``np.add.at`` scatter of the gradient).
+  ``scatter_rows`` accumulation of the gradient).
 
 Together they let message passing over ``E`` edges run in ``O(E * dim)``
 instead of materializing a dense ``(num_nodes, num_edges)`` one-hot scatter
@@ -29,11 +37,12 @@ matrix per layer.
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Iterable, Optional, Sequence, Tuple, Union
 
-import numpy as np
+from repro.backend import active_backend, xp
 
-ArrayLike = Union[np.ndarray, float, int, Sequence]
+#: A backend array, or anything :meth:`ArrayBackend.asarray` coerces to one.
+ArrayLike = Union[Any, float, int, Sequence]
 
 _GRAD_ENABLED = True
 
@@ -55,15 +64,12 @@ def grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
-def _as_array(data: ArrayLike) -> np.ndarray:
-    if isinstance(data, np.ndarray):
-        if data.dtype != np.float64:
-            return data.astype(np.float64)
-        return data
-    return np.asarray(data, dtype=np.float64)
+def _as_array(data: ArrayLike):
+    """Coerce ``data`` to an active-backend array under the float dtype policy."""
+    return active_backend().asarray(data)
 
 
-def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+def _unbroadcast(grad, shape: Tuple[int, ...]):
     """Reduce ``grad`` so that it matches ``shape`` (reverse of broadcasting)."""
     if grad.shape == shape:
         return grad
@@ -88,11 +94,11 @@ class Tensor:
         data: ArrayLike,
         requires_grad: bool = False,
         parents: Tuple["Tensor", ...] = (),
-        backward: Optional[Callable[[np.ndarray], None]] = None,
+        backward: Optional[Callable[[Any], None]] = None,
         name: Optional[str] = None,
     ):
         self.data = _as_array(data)
-        self.grad: Optional[np.ndarray] = None
+        self.grad = None
         self.requires_grad = bool(requires_grad) and grad_enabled()
         self._backward = backward
         self._parents = parents if self.requires_grad else ()
@@ -113,8 +119,8 @@ class Tensor:
     def size(self) -> int:
         return self.data.size
 
-    def numpy(self) -> np.ndarray:
-        """Return the underlying numpy array (not a copy)."""
+    def numpy(self):
+        """Return the underlying array (not a copy; backend-native type)."""
         return self.data
 
     def item(self) -> float:
@@ -140,8 +146,8 @@ class Tensor:
             return value
         return Tensor(value)
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+    def _accumulate(self, grad) -> None:
+        grad = _unbroadcast(_as_array(grad), self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -149,9 +155,9 @@ class Tensor:
 
     @staticmethod
     def _make(
-        data: np.ndarray,
+        data,
         parents: Iterable["Tensor"],
-        backward: Callable[[np.ndarray], None],
+        backward: Callable[[Any], None],
     ) -> "Tensor":
         parents = tuple(parents)
         requires = grad_enabled() and any(p.requires_grad for p in parents)
@@ -168,7 +174,7 @@ class Tensor:
         other = self._ensure(other)
         data = self.data + other.data
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if self.requires_grad:
                 self._accumulate(grad)
             if other.requires_grad:
@@ -181,7 +187,7 @@ class Tensor:
     def __neg__(self) -> "Tensor":
         data = -self.data
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if self.requires_grad:
                 self._accumulate(-grad)
 
@@ -197,7 +203,7 @@ class Tensor:
         other = self._ensure(other)
         data = self.data * other.data
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if self.requires_grad:
                 self._accumulate(grad * other.data)
             if other.requires_grad:
@@ -211,7 +217,7 @@ class Tensor:
         other = self._ensure(other)
         data = self.data / other.data
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if self.requires_grad:
                 self._accumulate(grad / other.data)
             if other.requires_grad:
@@ -227,7 +233,7 @@ class Tensor:
             raise TypeError("Tensor.__pow__ only supports scalar exponents")
         data = self.data ** exponent
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if self.requires_grad:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
@@ -237,19 +243,19 @@ class Tensor:
         other = self._ensure(other)
         data = self.data @ other.data
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             a, b = self.data, other.data
             if self.requires_grad:
                 if b.ndim == 1:
-                    self._accumulate(np.outer(grad, b) if a.ndim > 1 else grad * b)
+                    self._accumulate(xp.outer(grad, b) if a.ndim > 1 else grad * b)
                 else:
-                    g = np.atleast_2d(grad) @ np.swapaxes(b, -1, -2)
+                    g = xp.atleast_2d(grad) @ xp.swapaxes(b, -1, -2)
                     self._accumulate(g.reshape(a.shape) if a.ndim == 1 else g)
             if other.requires_grad:
                 if a.ndim == 1:
-                    other._accumulate(np.outer(a, grad) if b.ndim > 1 else grad * a)
+                    other._accumulate(xp.outer(a, grad) if b.ndim > 1 else grad * a)
                 else:
-                    g = np.swapaxes(a, -1, -2) @ np.atleast_2d(grad)
+                    g = xp.swapaxes(a, -1, -2) @ xp.atleast_2d(grad)
                     other._accumulate(g.reshape(b.shape) if b.ndim == 1 else g)
 
         return self._make(data, (self, other), backward)
@@ -258,18 +264,18 @@ class Tensor:
     # elementwise math
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
-        data = np.exp(self.data)
+        data = xp.exp(self.data)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if self.requires_grad:
                 self._accumulate(grad * data)
 
         return self._make(data, (self,), backward)
 
     def log(self) -> "Tensor":
-        data = np.log(self.data)
+        data = xp.log(self.data)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if self.requires_grad:
                 self._accumulate(grad / self.data)
 
@@ -282,53 +288,53 @@ class Tensor:
         mask = self.data > 0
         data = self.data * mask
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if self.requires_grad:
                 self._accumulate(grad * mask)
 
         return self._make(data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        data = 1.0 / (1.0 + np.exp(-self.data))
+        data = 1.0 / (1.0 + xp.exp(-self.data))
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if self.requires_grad:
                 self._accumulate(grad * data * (1.0 - data))
 
         return self._make(data, (self,), backward)
 
     def tanh(self) -> "Tensor":
-        data = np.tanh(self.data)
+        data = xp.tanh(self.data)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if self.requires_grad:
                 self._accumulate(grad * (1.0 - data ** 2))
 
         return self._make(data, (self,), backward)
 
     def sin(self) -> "Tensor":
-        data = np.sin(self.data)
+        data = xp.sin(self.data)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if self.requires_grad:
-                self._accumulate(grad * np.cos(self.data))
+                self._accumulate(grad * xp.cos(self.data))
 
         return self._make(data, (self,), backward)
 
     def cos(self) -> "Tensor":
-        data = np.cos(self.data)
+        data = xp.cos(self.data)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if self.requires_grad:
-                self._accumulate(-grad * np.sin(self.data))
+                self._accumulate(-grad * xp.sin(self.data))
 
         return self._make(data, (self,), backward)
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
-        data = np.abs(self.data)
+        sign = xp.sign(self.data)
+        data = xp.abs(self.data)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if self.requires_grad:
                 self._accumulate(grad * sign)
 
@@ -336,9 +342,9 @@ class Tensor:
 
     def clamp_min(self, minimum: float) -> "Tensor":
         mask = self.data >= minimum
-        data = np.maximum(self.data, minimum)
+        data = xp.maximum(self.data, minimum)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if self.requires_grad:
                 self._accumulate(grad * mask)
 
@@ -350,15 +356,15 @@ class Tensor:
     def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
         data = self.data.sum(axis=axis, keepdims=keepdims)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if not self.requires_grad:
                 return
-            g = np.asarray(grad)
+            g = _as_array(grad)
             if axis is not None and not keepdims:
                 axes = (axis,) if isinstance(axis, int) else tuple(axis)
                 for ax in sorted(a % self.data.ndim for a in axes):
-                    g = np.expand_dims(g, ax)
-            self._accumulate(np.broadcast_to(g, self.data.shape))
+                    g = xp.expand_dims(g, ax)
+            self._accumulate(xp.broadcast_to(g, self.data.shape))
 
         return self._make(data, (self,), backward)
 
@@ -367,7 +373,9 @@ class Tensor:
             count = self.data.size
         else:
             axes = (axis,) if isinstance(axis, int) else tuple(axis)
-            count = int(np.prod([self.data.shape[a] for a in axes]))
+            count = 1
+            for a in axes:
+                count *= self.data.shape[a]
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def norm(self) -> "Tensor":
@@ -383,9 +391,9 @@ class Tensor:
         data = self.data.reshape(shape)
         original_shape = self.data.shape
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if self.requires_grad:
-                self._accumulate(np.asarray(grad).reshape(original_shape))
+                self._accumulate(_as_array(grad).reshape(original_shape))
 
         return self._make(data, (self,), backward)
 
@@ -395,11 +403,11 @@ class Tensor:
     def transpose(self, *axes: int) -> "Tensor":
         axes_tuple = axes if axes else tuple(reversed(range(self.data.ndim)))
         data = self.data.transpose(axes_tuple)
-        inverse = np.argsort(axes_tuple)
+        inverse = tuple(sorted(range(len(axes_tuple)), key=axes_tuple.__getitem__))
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if self.requires_grad:
-                self._accumulate(np.asarray(grad).transpose(inverse))
+                self._accumulate(_as_array(grad).transpose(inverse))
 
         return self._make(data, (self,), backward)
 
@@ -410,27 +418,28 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, index, grad)
+                full = xp.zeros_like(self.data)
+                active_backend().index_add(full, index, grad)
                 self._accumulate(full)
 
         return self._make(data, (self,), backward)
 
-    def gather_rows(self, indices: np.ndarray) -> "Tensor":
+    def gather_rows(self, indices) -> "Tensor":
         """Select rows (first-axis indexing) — the embedding-lookup primitive."""
-        return gather(self, np.asarray(indices, dtype=np.int64))
+        return gather(self, indices)
 
     @staticmethod
     def concat(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [Tensor._ensure(t) for t in tensors]
-        data = np.concatenate([t.data for t in tensors], axis=axis)
-        sizes = [t.data.shape[axis] for t in tensors]
-        offsets = np.cumsum([0] + sizes)
+        data = xp.concatenate([t.data for t in tensors], axis=axis)
+        offsets = [0]
+        for tensor in tensors:
+            offsets.append(offsets[-1] + tensor.data.shape[axis])
 
-        def backward(grad: np.ndarray) -> None:
-            grad = np.asarray(grad)
+        def backward(grad) -> None:
+            grad = _as_array(grad)
             for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
                 if tensor.requires_grad:
                     slicer = [slice(None)] * grad.ndim
@@ -442,14 +451,14 @@ class Tensor:
     @staticmethod
     def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [Tensor._ensure(t) for t in tensors]
-        data = np.stack([t.data for t in tensors], axis=axis)
+        data = xp.stack([t.data for t in tensors], axis=axis)
 
-        def backward(grad: np.ndarray) -> None:
-            grad = np.asarray(grad)
-            parts = np.split(grad, len(tensors), axis=axis)
+        def backward(grad) -> None:
+            grad = _as_array(grad)
+            parts = xp.split(grad, len(tensors), axis=axis)
             for tensor, part in zip(tensors, parts):
                 if tensor.requires_grad:
-                    tensor._accumulate(np.squeeze(part, axis=axis))
+                    tensor._accumulate(xp.squeeze(part, axis=axis))
 
         return Tensor._make(data, tensors, backward)
 
@@ -463,8 +472,8 @@ class Tensor:
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError("backward() without an explicit gradient requires a scalar tensor")
-            grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+            grad = xp.ones_like(self.data)
+        grad = _as_array(grad)
 
         order: list[Tensor] = []
         visited: set[int] = set()
@@ -494,62 +503,45 @@ class Tensor:
 # ---------------------------------------------------------------------- #
 # indexed scatter/gather primitives
 # ---------------------------------------------------------------------- #
-def _scatter_rows(indices: np.ndarray, values: np.ndarray, num_rows: int) -> np.ndarray:
-    """Sum ``values`` rows into ``num_rows`` output rows by ``indices``.
-
-    The shared kernel behind ``scatter_add``'s forward and ``gather``'s
-    backward.  Above 128 rows a per-column ``np.bincount`` beats the
-    unbuffered ``np.add.at`` by ~2x at the shapes the GNN hot path produces;
-    below that (or for >2-D values) the simple scatter wins.
-    """
-    if values.ndim == 1 and indices.size >= 128:
-        return np.bincount(indices, weights=values, minlength=num_rows)[:num_rows]
-    if values.ndim == 2 and indices.size >= 128:
-        out = np.empty((num_rows, values.shape[1]), dtype=np.float64)
-        for column in range(values.shape[1]):
-            out[:, column] = np.bincount(
-                indices, weights=values[:, column], minlength=num_rows)[:num_rows]
-        return out
-    out = np.zeros((num_rows,) + values.shape[1:], dtype=np.float64)
-    np.add.at(out, indices, values)
-    return out
-
-
-def gather(source: Tensor, indices: np.ndarray) -> Tensor:
+def gather(source: Tensor, indices) -> Tensor:
     """Select rows ``source[indices]`` along the first axis.
 
     Unlike generic ``Tensor.__getitem__`` this is specialized to integer-array
     row selection, which keeps both directions allocation-lean: forward is a
     single fancy-indexing gather, backward scatters the incoming gradient back
-    through the shared row-scatter kernel (duplicate indices accumulate).
+    through the backend's row-scatter kernel (duplicate indices accumulate;
+    see :meth:`repro.backend.base.ArrayBackend.scatter_rows` for the
+    threshold-dispatched CPU micro-kernels).
     """
-    indices = np.asarray(indices, dtype=np.int64)
-    # Normalize negative (wrap-around) indices up front so the bincount
-    # scatter in backward sees the same rows fancy indexing selected.
+    backend = active_backend()
+    indices = backend.asindex(indices)
+    # Normalize negative (wrap-around) indices up front so the scatter
+    # kernel in backward sees the same rows fancy indexing selected.
     if indices.size and indices.min() < 0:
-        indices = np.where(indices < 0, indices + source.data.shape[0], indices)
-    data = source.data[indices]
+        indices = xp.where(indices < 0, indices + source.data.shape[0], indices)
+    data = backend.gather_rows(source.data, indices)
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
         if source.requires_grad:
-            grad = np.asarray(grad, dtype=np.float64)
-            source._accumulate(_scatter_rows(indices, grad, source.data.shape[0]))
+            grad = backend.asarray(grad)
+            source._accumulate(backend.scatter_rows(indices, grad, source.data.shape[0]))
 
     return Tensor._make(data, (source,), backward)
 
 
-def scatter_add(source: Tensor, indices: np.ndarray, num_segments: int) -> Tensor:
+def scatter_add(source: Tensor, indices, num_segments: int) -> Tensor:
     """Sum rows of ``source`` into ``num_segments`` output rows by ``indices``.
 
     ``out[i] = sum(source[j] for j where indices[j] == i)`` — the segmented
-    reduction at the heart of graph message aggregation.  Forward uses
-    ``np.add.at`` (unbuffered, so duplicate destinations accumulate
-    correctly); backward is the adjoint gather ``grad[indices]``.
+    reduction at the heart of graph message aggregation.  Forward is the
+    active backend's ``scatter_rows`` kernel (duplicate destinations
+    accumulate); backward is the adjoint gather ``grad[indices]``.
 
     ``indices`` must be 1-D with one entry per row of ``source`` and every
     entry in ``[0, num_segments)``.
     """
-    indices = np.asarray(indices, dtype=np.int64)
+    backend = active_backend()
+    indices = backend.asindex(indices)
     if indices.ndim != 1:
         raise ValueError(f"scatter_add expects a 1-D index array, got shape {indices.shape}")
     if indices.shape[0] != source.data.shape[0]:
@@ -561,25 +553,26 @@ def scatter_add(source: Tensor, indices: np.ndarray, num_segments: int) -> Tenso
         raise ValueError("num_segments must be non-negative")
     if indices.size and (indices.min() < 0 or indices.max() >= num_segments):
         raise IndexError("scatter_add indices out of range")
-    out = _scatter_rows(indices, source.data, num_segments)
+    out = backend.scatter_rows(indices, source.data, num_segments)
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
         if source.requires_grad:
-            source._accumulate(np.asarray(grad, dtype=np.float64)[indices])
+            source._accumulate(backend.gather_rows(backend.asarray(grad), indices))
 
     return Tensor._make(out, (source,), backward)
 
 
-def segment_sum(source: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_sum(source: Tensor, segment_ids, num_segments: int) -> Tensor:
     """Alias of :func:`scatter_add` under its segmented-reduction name."""
     return scatter_add(source, segment_ids, num_segments)
 
 
-def segment_mean(source: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_mean(source: Tensor, segment_ids, num_segments: int) -> Tensor:
     """Per-segment mean of rows; empty segments yield zero rows."""
-    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    backend = active_backend()
+    segment_ids = backend.asindex(segment_ids)
     sums = scatter_add(source, segment_ids, num_segments)
-    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
-    counts[counts == 0] = 1.0
+    counts = backend.segment_counts(segment_ids, num_segments)
+    counts = xp.where(counts == 0, 1.0, counts)
     inverse = 1.0 / counts
     return sums * inverse.reshape((num_segments,) + (1,) * (source.data.ndim - 1))

@@ -1,0 +1,73 @@
+"""Optional CuPy (GPU) backend — registered only when ``cupy`` imports.
+
+The engine's tensor design is array-module-agnostic (the tricycle exemplar
+runs a GPT on the same design by swapping ``numpy`` for ``cupy``); this
+backend is that swap for our engine.  Compute arrays (parameters, messages,
+activations, gradients) live on the device; index bookkeeping — CSR
+adjacency, BFS masks, edge arrays — stays host-side numpy
+(:attr:`host_xp`), crossing to the device at the compute boundary through
+:meth:`asindex`.
+
+The scatter/gather/segment kernels map onto CuPy's native primitives:
+``cupyx.scatter_add`` for the segmented row sum (atomics; one kernel launch
+instead of a host loop) and device fancy indexing for gathers.  Numerical
+results are equivalent to the numpy reference within floating-point
+reassociation tolerance (atomic scatter order is nondeterministic), which
+is exactly what the backend-parity suite asserts when a GPU is present —
+and why bit-identity guarantees are reserved for the numpy backend.
+
+This module never imports at module scope on machines without cupy:
+:mod:`repro.backend` attempts the import during registry bootstrap and
+registers the backend only on success, so GPU-less installs (including CI)
+see it listed as *known but unavailable*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+import cupy  # noqa: E402  (guarded by the registry bootstrap)
+import cupyx  # noqa: E402
+
+
+class CupyBackend(ArrayBackend):
+    """Device compute arrays via CuPy; host-side numpy index bookkeeping."""
+
+    name = "cupy"
+    xp = cupy
+    host_xp = np
+
+    # ------------------------------------------------------------------ #
+    def asarray(self, data):
+        if isinstance(data, cupy.ndarray):
+            if data.dtype != self.float_dtype:
+                return data.astype(self.float_dtype)
+            return data
+        return cupy.asarray(np.asarray(data), dtype=self.float_dtype)
+
+    def asindex(self, data):
+        return cupy.asarray(np.asarray(data, dtype=np.int64))
+
+    def to_numpy(self, array) -> np.ndarray:
+        if isinstance(array, cupy.ndarray):
+            return cupy.asnumpy(array)
+        return np.asarray(array)
+
+    # ------------------------------------------------------------------ #
+    def scatter_rows(self, indices, values, num_rows: int):
+        out = cupy.zeros((num_rows,) + values.shape[1:], dtype=self.float_dtype)
+        cupyx.scatter_add(out, self.asindex(indices), values)
+        return out
+
+    def gather_rows(self, values, indices):
+        return values[self.asindex(indices)]
+
+    def index_add(self, out, indices, values) -> None:
+        cupyx.scatter_add(out, self.asindex(indices), values)
+
+    def segment_counts(self, segment_ids, num_segments: int):
+        ids = self.asindex(segment_ids)
+        return cupy.bincount(ids, minlength=num_segments).astype(
+            self.float_dtype)[:num_segments]

@@ -1,0 +1,103 @@
+"""The always-on numpy reference backend, with CPU scatter micro-kernels.
+
+``NumpyBackend`` is the default and the correctness reference every other
+backend is tested against.  Its one non-trivial piece is the
+threshold-dispatched :meth:`~NumpyBackend.scatter_rows` kernel — the
+segmented row reduction behind ``scatter_add``'s forward and ``gather``'s
+backward, i.e. the single hottest indexed operation in the GNN message-
+passing path.  Three implementations are dispatched on size and density:
+
+``np.add.at``  (``E < MIN_VECTOR_EDGES``)
+    The unbuffered ufunc scatter.  Lowest constant factor; wins on tiny
+    edge sets where any preprocessing is pure overhead.
+
+per-column ``np.bincount``  (dense: ``num_rows <= SPARSE_ROW_FACTOR * E``)
+    One weighted bincount per feature column.  Accumulates in input order
+    (sequential adds, like ``np.add.at``), so it is **bit-identical** to
+    the ufunc scatter — this is the path every default model configuration
+    hits, which is what keeps numpy-backend results bit-identical release
+    over release.  Cost is ``O(D * (E + num_rows))``: the ``num_rows`` term
+    is per column, which is why it collapses in the sparse regime.
+
+sort + ``np.reduceat``  (sparse: ``num_rows > SPARSE_ROW_FACTOR * E``)
+    Stable-argsort the destination indices, gather the value rows into
+    segment-contiguous order, reduce each segment with one
+    ``np.add.reduceat`` sweep and write the ``S <= E`` occupied rows.
+    Cost is ``O(E log E + E * D + S * D)`` — independent of ``num_rows``
+    except for the final zeros allocation — where the bincount path pays
+    ``O(D * num_rows)`` and ``np.add.at`` pays an uncoalesced random write
+    per edge.  Measured on the benchmark workloads (see
+    ``benchmarks/bench_backend.py``): 3-12x over per-column bincount at
+    ``E >= 8k`` scattered into 100k+ rows in every regime, and 1.3-1.9x
+    over ``np.add.at`` in a fresh process (the add.at ratio is
+    page-fault-regime dependent: a warm allocator or transparent huge
+    pages can amortize the output faults that dominate add.at's cost at
+    these shapes, bringing it back to parity).  ``np.add.reduceat`` reassociates the per-segment sums (SIMD
+    partial accumulators), so this path is *equivalent within float64
+    reassociation tolerance* rather than bit-identical — the dispatch
+    thresholds confine it to the sparse regime no default model
+    configuration reaches.
+
+Values with ``ndim > 2`` always take the ``np.add.at`` path (the
+vectorized kernels are specialized to the ``(E,)``/``(E, D)`` shapes the
+engine produces).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+
+class NumpyBackend(ArrayBackend):
+    """Reference backend: compute and host arrays are both numpy."""
+
+    name = "numpy"
+    xp = np
+    host_xp = np
+
+    #: Below this many index entries, plain ``np.add.at`` wins.
+    MIN_VECTOR_EDGES = 128
+    #: ``num_rows > SPARSE_ROW_FACTOR * E`` switches the 2-D kernel from
+    #: per-column bincount to the sort+reduceat micro-kernel.
+    SPARSE_ROW_FACTOR = 4
+
+    # ------------------------------------------------------------------ #
+    def scatter_rows(self, indices, values, num_rows: int):
+        indices = np.asarray(indices)
+        if indices.size < self.MIN_VECTOR_EDGES or values.ndim > 2:
+            out = np.zeros((num_rows,) + values.shape[1:], dtype=self.float_dtype)
+            np.add.at(out, indices, values)
+            return out
+        if values.ndim == 1:
+            return np.bincount(indices, weights=values,
+                               minlength=num_rows)[:num_rows]
+        if num_rows > self.SPARSE_ROW_FACTOR * indices.size:
+            return self._scatter_rows_reduceat(indices, values, num_rows)
+        return self._scatter_rows_bincount(indices, values, num_rows)
+
+    @staticmethod
+    def _scatter_rows_bincount(indices: np.ndarray, values: np.ndarray,
+                               num_rows: int) -> np.ndarray:
+        """Dense 2-D kernel: one weighted bincount per feature column."""
+        out = np.empty((num_rows, values.shape[1]), dtype=np.float64)
+        for column in range(values.shape[1]):
+            out[:, column] = np.bincount(
+                indices, weights=values[:, column], minlength=num_rows)[:num_rows]
+        return out
+
+    @staticmethod
+    def _scatter_rows_reduceat(indices: np.ndarray, values: np.ndarray,
+                               num_rows: int) -> np.ndarray:
+        """Sparse 2-D micro-kernel: stable sort + segmented ``reduceat``."""
+        order = np.argsort(indices, kind="stable")
+        sorted_indices = indices[order]
+        sorted_values = values[order]
+        # Segment starts: position 0 plus every index change in sorted order.
+        starts = np.concatenate(
+            [[0], np.flatnonzero(np.diff(sorted_indices)) + 1])
+        segment_sums = np.add.reduceat(sorted_values, starts, axis=0)
+        out = np.zeros((num_rows, values.shape[1]), dtype=np.float64)
+        out[sorted_indices[starts]] = segment_sums
+        return out

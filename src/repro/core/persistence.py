@@ -35,6 +35,8 @@ from typing import Any, Dict, Optional, Protocol, Union, runtime_checkable
 
 import numpy as np
 
+from repro.backend import active_backend
+
 PathLike = Union[str, Path]
 
 _HEADER_KEY = "__header__"
@@ -112,14 +114,22 @@ def _checkpoint_arrays(model) -> Dict[str, np.ndarray]:
     if not spec.checkpointable:
         raise TypeError(
             f"model {spec.name!r} is registered with checkpointable=False")
+    backend = active_backend()
     header = {
         "format_version": _FORMAT_VERSION,
         "class": type(model).__name__,
         "name": getattr(model, "name", type(model).__name__),
         "seed": getattr(model, "seed", None),
+        # Provenance only: checkpoints are always host numpy arrays, so a
+        # model saved under one backend restores under any other (the format
+        # version does not change).  Loaders tolerate the key being absent.
+        "backend": backend.name,
         "model": model.checkpoint_header(),
     }
-    arrays = dict(model.checkpoint_arrays())
+    # Device backends hand back device arrays; materialize host-side so the
+    # npz payload is backend-independent.  On numpy this is a no-op view.
+    arrays = {name: backend.to_numpy(array)
+              for name, array in model.checkpoint_arrays().items()}
     if _HEADER_KEY in arrays:
         raise ValueError(f"model arrays may not use the reserved key {_HEADER_KEY!r}")
     arrays[_HEADER_KEY] = np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
+from repro.backend import known_backend_names, resolve_backend_name, use_backend
 from repro.core.config import EvalConfig, ModelConfig, TrainingConfig
 from repro.core.persistence import save_model
 from repro.core.trainer import Trainer
@@ -115,6 +116,11 @@ class ExperimentConfig:
     training: TrainingConfig = field(default_factory=TrainingConfig)
     eval: EvalConfig = field(default_factory=EvalConfig)
     artifacts_dir: Optional[str] = None
+    backend: Optional[str] = None
+    """Array backend the run executes under (see :mod:`repro.backend`).
+    ``None`` defers to the ambient backend — the CLI ``--backend`` flag, an
+    enclosing :func:`repro.backend.use_backend`, the ``REPRO_BACKEND``
+    environment variable, or finally ``"numpy"``."""
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -138,12 +144,13 @@ class ExperimentConfig:
 
         data = {name: _plain(getattr(self, name)) for name in _SECTION_TYPES}
         data["artifacts_dir"] = self.artifacts_dir
+        data["backend"] = self.backend
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentConfig":
         """Inverse of :meth:`to_dict`; rejects unknown keys at every level."""
-        allowed = set(_SECTION_TYPES) | {"artifacts_dir"}
+        allowed = set(_SECTION_TYPES) | {"artifacts_dir", "backend"}
         for key in data:
             if key not in allowed:
                 raise ValueError(
@@ -154,13 +161,18 @@ class ExperimentConfig:
             if not isinstance(section_data, Mapping):
                 raise ValueError(f"section {name!r} must be a mapping")
             sections[name] = _section_from_dict(section_cls, section_data, name)
-        config = cls(artifacts_dir=data.get("artifacts_dir"), **sections)
+        config = cls(artifacts_dir=data.get("artifacts_dir"),
+                     backend=data.get("backend"), **sections)
         config.validate()
         return config
 
     def validate(self) -> None:
         """Cross-section checks: the model exists, overrides are known and
         not pinned by the variant, and the training section applies."""
+        if self.backend is not None and self.backend not in known_backend_names():
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"choose from {known_backend_names()}")
         spec = get_spec(self.model.name)
         allowed = allowed_override_keys(self.model.name)
         for key in self.model.overrides:
@@ -354,24 +366,30 @@ class Experiment:
         return self._dataset
 
     def train(self):
-        """Train (once) and return the configured model."""
+        """Train (once) and return the configured model.
+
+        Runs under the config's ``backend`` (``None`` keeps the ambient
+        backend — CLI flag, ``REPRO_BACKEND``, or numpy).
+        """
         if self._model is None:
             section = self.config.model
-            self._model = train_model(
-                section.name, self.dataset,
-                epochs=self.config.training.epochs,
-                embedding_dim=section.embedding_dim,
-                seed=self.config.training.seed,
-                training_config=self.config.training,
-                overrides=section.overrides)
+            with use_backend(self.config.backend):
+                self._model = train_model(
+                    section.name, self.dataset,
+                    epochs=self.config.training.epochs,
+                    embedding_dim=section.embedding_dim,
+                    seed=self.config.training.seed,
+                    training_config=self.config.training,
+                    overrides=section.overrides)
         return self._model
 
     def evaluate(self) -> EvaluationResult:
         """Evaluate the trained model (training first if needed)."""
         if self._result is None:
             model = self.train()
-            evaluator = Evaluator.from_config(self.dataset, self.config.eval)
-            self._result = evaluator.evaluate(model, model_name=self.config.model.name)
+            with use_backend(self.config.backend):
+                evaluator = Evaluator.from_config(self.dataset, self.config.eval)
+                self._result = evaluator.evaluate(model, model_name=self.config.model.name)
         return self._result
 
     # ------------------------------------------------------------------ #
@@ -408,6 +426,7 @@ class Experiment:
                 "model": result.model_name,
                 "dataset": result.dataset_name,
                 "split": result.split_name,
+                "backend": resolve_backend_name(self.config.backend),
                 "parameters": int(self._model.num_parameters()),
                 "metrics": result.summary(),
                 "config": effective.to_dict(),

@@ -1,7 +1,7 @@
 """Counter-seeded per-edge dropout for the R-GCN message-passing stack.
 
-Stream-based dropout (one shared ``np.random.Generator`` advanced by every
-forward pass) makes the drawn masks depend on *how* a batch is scored: the
+Stream-based dropout (one shared ``Generator`` advanced by every forward
+pass) makes the drawn masks depend on *how* a batch is scored: the
 sequential trainer draws one mask per triple's subgraph while the batched
 trainer draws one per block-diagonal union chunk, so the two loss paths
 diverge as soon as ``edge_dropout > 0``.  This module replaces the stream
@@ -12,72 +12,19 @@ induced from.  Any composition of subgraphs into union graphs — or none —
 therefore produces identical masks, which is what makes batched and
 sequential training loss-equivalent with dropout enabled.
 
-The uniform variates come from a vectorized splitmix64 finalizer: not a
-cryptographic generator, but statistically more than adequate for Bernoulli
-dropout masks, stateless, and reproducible across platforms (pure uint64
-arithmetic).
+The splitmix64 uniform machinery itself now lives behind the backend seam
+(:mod:`repro.backend.counter_rng`) so that element-wise dropout
+(:func:`repro.autodiff.functional.dropout`) shares it; this module re-exports
+it unchanged and keeps the edge-dropout-specific state
+(:class:`DropoutClock`, :func:`counter_dropout_mask`).
 """
 
 from __future__ import annotations
 
-from typing import List, Union
-
-import numpy as np
-
-_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
-_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
-_MIX_2 = np.uint64(0x94D049BB133111EB)
-_SHIFT_30 = np.uint64(30)
-_SHIFT_27 = np.uint64(27)
-_SHIFT_31 = np.uint64(31)
-_SHIFT_11 = np.uint64(11)
-#: 2**-53: maps the top 53 bits of a uint64 onto [0, 1).
-_INV_2_53 = float(2.0 ** -53)
-
-
-def _finalize(values: np.ndarray) -> np.ndarray:
-    """splitmix64 finalizer, vectorized over a uint64 array (wraps silently)."""
-    values = (values ^ (values >> _SHIFT_30)) * _MIX_1
-    values = (values ^ (values >> _SHIFT_27)) * _MIX_2
-    return values ^ (values >> _SHIFT_31)
-
-
-def uniform_from_keys(keys: np.ndarray, *salts: int) -> np.ndarray:
-    """Deterministic uniforms in ``[0, 1)``, one per key, salted by ``salts``.
-
-    ``keys`` is any integer array (e.g. hashed edge identities); each salt —
-    seed, epoch, layer index — is folded in with its own finalization round,
-    so streams for different ``(seed, epoch, layer)`` triples are
-    independent.  The same ``(key, salts)`` always yields the same uniform,
-    on every platform.
-    """
-    mixed = np.asarray(keys).astype(np.uint64, copy=True)
-    with np.errstate(over="ignore"):
-        for salt in salts:
-            mixed = _finalize(mixed + _GOLDEN * np.uint64(np.int64(salt)))
-        mixed = _finalize(mixed)
-    return (mixed >> _SHIFT_11).astype(np.float64) * _INV_2_53
-
-
-def edge_keys(nodes: Union[np.ndarray, List[int]], edges: np.ndarray) -> np.ndarray:
-    """Hash each subgraph edge's global ``(head, relation, tail)`` identity.
-
-    ``edges`` is the usual ``(E, 3)`` local array and ``nodes`` the
-    subgraph's global node ids (local index -> global id), so the returned
-    ``(E,)`` uint64 keys identify graph edges independently of which
-    subgraph — or which block-diagonal union — they appear in.
-    """
-    if edges.size == 0:
-        return np.zeros(0, dtype=np.uint64)
-    nodes_arr = np.asarray(nodes, dtype=np.int64)
-    global_heads = nodes_arr[edges[:, 0]].astype(np.uint64)
-    relations = edges[:, 1].astype(np.uint64)
-    global_tails = nodes_arr[edges[:, 2]].astype(np.uint64)
-    with np.errstate(over="ignore"):
-        mixed = _finalize(global_heads + _GOLDEN)
-        mixed = _finalize(mixed ^ (relations * _MIX_1))
-        mixed = _finalize(mixed ^ (global_tails * _MIX_2))
-    return mixed
+from repro.backend.counter_rng import (  # noqa: F401  (re-exports)
+    edge_keys,
+    uniform_from_keys,
+)
 
 
 class DropoutClock:
@@ -95,7 +42,7 @@ class DropoutClock:
 
 
 def counter_dropout_mask(clock: DropoutClock, layer_index: int,
-                         keys: np.ndarray, rate: float) -> np.ndarray:
+                         keys, rate: float):
     """Inverted-dropout scale factors, shape ``(len(keys), 1)``.
 
     Kept edges scale by ``1 / (1 - rate)``, dropped edges by zero — the same

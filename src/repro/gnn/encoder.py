@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
-import numpy as np
+from repro.backend import hxp
 
 from repro.autodiff.layers import Linear
 from repro.autodiff.module import Module
@@ -26,12 +26,12 @@ class SubgraphEncoder(Module):
 
     def __init__(self, input_dim: int, hidden_dim: int, num_relations: int,
                  num_layers: int = 2, num_bases: int = 4, dropout: float = 0.0,
-                 use_attention: bool = True, rng: Optional[np.random.Generator] = None,
+                 use_attention: bool = True, rng: Optional[Any] = None,
                  dropout_seed: Optional[int] = None):
         super().__init__()
         if num_layers < 1:
             raise ValueError("num_layers must be >= 1")
-        rng = rng or np.random.default_rng()
+        rng = rng or hxp.random.default_rng()
         #: Shared (seed, epoch) counter for the layers' per-edge dropout —
         #: trainers advance `dropout_clock.epoch` so masks are redrawn per
         #: epoch but agree across batching strategies within one.
@@ -52,8 +52,8 @@ class SubgraphEncoder(Module):
                                      edge_identity=edge_keys(subgraph.nodes,
                                                              subgraph.edges))
 
-    def forward_features(self, features: Tensor, edges: np.ndarray,
-                         edge_identity: Optional[np.ndarray] = None) -> Tensor:
+    def forward_features(self, features: Tensor, edges,
+                         edge_identity: Optional[Any] = None) -> Tensor:
         """Run the GNN stack on raw node features and an edge array.
 
         This is the substrate shared by single-subgraph encoding and the

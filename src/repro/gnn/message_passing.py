@@ -10,12 +10,12 @@ matrix per layer per subgraph, which dominated evaluation cost.
 
 from __future__ import annotations
 
-import numpy as np
+from repro.backend import active_backend, xp
 
 from repro.autodiff.tensor import Tensor, scatter_add
 
 
-def aggregate_messages(messages: Tensor, destinations: np.ndarray, num_nodes: int,
+def aggregate_messages(messages: Tensor, destinations, num_nodes: int,
                        weights: Tensor | None = None) -> Tensor:
     """Sum (optionally weighted) edge ``messages`` into their destination nodes.
 
@@ -33,13 +33,13 @@ def aggregate_messages(messages: Tensor, destinations: np.ndarray, num_nodes: in
     Gradients flow to both ``messages`` and ``weights`` through the autodiff
     engine; the backward of the scatter is a plain row gather.
     """
-    destinations = np.asarray(destinations, dtype=np.int64)
+    destinations = active_backend().asindex(destinations)
     if weights is not None:
         messages = messages * weights
     return scatter_add(messages, destinations, num_nodes)
 
 
-def aggregate_messages_dense(messages: Tensor, destinations: np.ndarray, num_nodes: int,
+def aggregate_messages_dense(messages: Tensor, destinations, num_nodes: int,
                              weights: Tensor | None = None) -> Tensor:
     """Reference implementation via a dense one-hot scatter matrix.
 
@@ -47,18 +47,20 @@ def aggregate_messages_dense(messages: Tensor, destinations: np.ndarray, num_nod
     Retained only as the ground truth for equivalence tests and as the
     baseline in ``benchmarks/bench_message_passing.py``.
     """
-    destinations = np.asarray(destinations, dtype=np.int64)
+    backend = active_backend()
+    destinations = backend.asindex(destinations)
     if weights is not None:
         messages = messages * weights
     num_edges = messages.shape[0]
-    scatter = np.zeros((num_nodes, num_edges), dtype=np.float64)
-    scatter[destinations, np.arange(num_edges)] = 1.0
+    scatter = xp.zeros((num_nodes, num_edges), dtype=backend.float_dtype)
+    scatter[destinations, xp.arange(num_edges)] = 1.0
     return Tensor(scatter) @ messages
 
 
-def degree_normalization(destinations: np.ndarray, num_nodes: int) -> np.ndarray:
+def degree_normalization(destinations, num_nodes: int):
     """Per-edge ``1 / in_degree(destination)`` normalization coefficients."""
-    destinations = np.asarray(destinations, dtype=np.int64)
-    counts = np.bincount(destinations, minlength=num_nodes).astype(np.float64)
-    counts[counts == 0] = 1.0
+    backend = active_backend()
+    destinations = backend.asindex(destinations)
+    counts = backend.segment_counts(destinations, num_nodes)
+    counts = xp.where(counts == 0, 1.0, counts)
     return (1.0 / counts)[destinations][:, None]

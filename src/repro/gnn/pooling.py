@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-import numpy as np
+from repro.backend import xp
 
 from repro.autodiff.tensor import Tensor, segment_mean
 
@@ -17,7 +17,7 @@ def sum_pool_nodes(node_representations: Tensor) -> Tensor:
     return node_representations.sum(axis=0)
 
 
-def segment_mean_pool(node_representations: Tensor, graph_ids: np.ndarray,
+def segment_mean_pool(node_representations: Tensor, graph_ids,
                       num_graphs: int) -> Tensor:
     """Average-pool a block-diagonal batch of graphs in one pass.
 
@@ -34,6 +34,6 @@ def max_pool_nodes(node_representations: Tensor) -> Tensor:
     Implemented with a softmax-free hard max on the forward values; gradients
     flow only to the selected entries via the indexing op.
     """
-    argmax = np.argmax(node_representations.data, axis=0)
-    columns = np.arange(node_representations.shape[1])
+    argmax = xp.argmax(node_representations.data, axis=0)
+    columns = xp.arange(node_representations.shape[1])
     return node_representations[argmax, columns]

@@ -9,9 +9,9 @@ relation embeddings.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
-import numpy as np
+from repro.backend import hxp
 
 from repro.autodiff import functional as F
 from repro.autodiff import init
@@ -53,7 +53,7 @@ class RGCNLayer(Module):
 
     def __init__(self, in_dim: int, out_dim: int, num_relations: int,
                  num_bases: int = 4, use_attention: bool = True,
-                 dropout: float = 0.0, rng: Optional[np.random.Generator] = None,
+                 dropout: float = 0.0, rng: Optional[Any] = None,
                  clock: Optional[DropoutClock] = None, layer_index: int = 0):
         super().__init__()
         if num_bases < 1:
@@ -64,7 +64,7 @@ class RGCNLayer(Module):
         self.num_bases = min(num_bases, num_relations)
         self.use_attention = use_attention
 
-        rng = rng or np.random.default_rng()
+        rng = rng or hxp.random.default_rng()
         # Basis decomposition: W_r = sum_b coeff[r, b] * basis[b]
         self.basis = Parameter(init.xavier_uniform((self.num_bases, in_dim * out_dim), rng=rng))
         self.coefficients = Parameter(init.xavier_uniform((num_relations, self.num_bases), rng=rng))
@@ -82,13 +82,13 @@ class RGCNLayer(Module):
         self.relation_embedding = Parameter(init.xavier_uniform((num_relations, out_dim), rng=rng))
 
     # ------------------------------------------------------------------ #
-    def relation_weights(self, relations: np.ndarray) -> Tensor:
+    def relation_weights(self, relations) -> Tensor:
         """Per-edge relation weight matrices, shape ``(num_edges, in_dim, out_dim)``."""
         coeff = self.coefficients.gather_rows(relations)  # (E, B)
         flat = coeff @ self.basis  # (E, in*out)
         return flat.reshape(len(relations), self.in_dim, self.out_dim)
 
-    def edge_messages(self, source_features: Tensor, relations: np.ndarray) -> Tensor:
+    def edge_messages(self, source_features: Tensor, relations) -> Tensor:
         """Per-edge messages ``x_src @ W_rel`` via the basis decomposition.
 
         Instead of materializing one ``(in_dim, out_dim)`` matrix per edge,
@@ -112,8 +112,8 @@ class RGCNLayer(Module):
         weighted = projected * coeff.reshape(num_edges, self.num_bases, 1)
         return weighted.sum(axis=1)
 
-    def forward(self, node_features: Tensor, edges: np.ndarray,
-                edge_identity: Optional[np.ndarray] = None) -> Tensor:
+    def forward(self, node_features: Tensor, edges,
+                edge_identity: Optional[Any] = None) -> Tensor:
         """Run one round of relational message passing.
 
         ``edges`` is an ``(E, 3)`` integer array of (source, relation,
@@ -142,7 +142,7 @@ class RGCNLayer(Module):
         dropout_gate = None
         if self.training and self.dropout_rate > 0:
             if edge_identity is None:
-                edge_identity = edge_keys(np.arange(num_nodes, dtype=np.int64), edges)
+                edge_identity = edge_keys(hxp.arange(num_nodes, dtype=hxp.int64), edges)
             dropout_gate = Tensor(counter_dropout_mask(
                 self.dropout_clock, self.layer_index, edge_identity,
                 self.dropout_rate))

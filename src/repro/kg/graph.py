@@ -14,7 +14,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-import numpy as np
+from repro.backend import hxp as np  # host-side index math via the backend seam
 
 from repro.kg.triple import Triple
 from repro.kg.vocabulary import Vocabulary

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-import numpy as np
+from repro.backend import hxp as np  # host-side index math via the backend seam
 
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple

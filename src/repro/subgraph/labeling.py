@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Tuple
 
-import numpy as np
+from repro.backend import hxp as np  # host-side index math via the backend seam
 
 #: Sentinel distance for "not reachable within the hop budget".
 UNREACHABLE = -1
