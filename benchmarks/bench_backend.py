@@ -37,14 +37,13 @@ those faults away.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from typing import Callable, Dict, List
 
 import numpy as np
 
-from common import bench_env, print_banner
+from common import append_bench_run, print_banner
 from repro.backend import NumpyBackend
 
 DIM = 32            # feature width of the message-passing workloads
@@ -85,26 +84,13 @@ def _add_at(indices: np.ndarray, values: np.ndarray, num_rows: int) -> np.ndarra
 
 def _write_json(rows: List[Dict]) -> None:
     """Append this run to the tracked history (keeps prior runs' numbers)."""
-    run = {
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "env": bench_env(),
-        "config": {"dim": DIM, "repeats": REPEATS,
-                   "min_vector_edges": NumpyBackend.MIN_VECTOR_EDGES,
-                   "sparse_row_factor": NumpyBackend.SPARSE_ROW_FACTOR},
-        "results": rows,
-    }
-    payload = {"benchmark": "backend_scatter", "unit": "seconds_per_call", "runs": []}
-    try:
-        with open(JSON_PATH, "r", encoding="utf-8") as handle:
-            existing = json.load(handle)
-        if isinstance(existing.get("runs"), list):
-            payload["runs"] = existing["runs"]
-    except (OSError, ValueError):
-        pass  # first run, or an unreadable file: start a fresh history
-    payload["runs"].append(run)
-    with open(JSON_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    append_bench_run(
+        JSON_PATH, "backend_scatter", "seconds_per_call",
+        config={"dim": DIM, "repeats": REPEATS,
+                "min_vector_edges": NumpyBackend.MIN_VECTOR_EDGES,
+                "sparse_row_factor": NumpyBackend.SPARSE_ROW_FACTOR},
+        results=rows,
+    )
 
 
 def test_scatter_kernels():

@@ -21,12 +21,11 @@ Results are appended to ``BENCH_eval.json`` (override the path with the
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from typing import Dict, List
 
-from common import bench_env, print_banner
+from common import append_bench_run, print_banner
 from repro.core.config import ModelConfig
 from repro.core.model import DEKGILP
 from repro.datasets.benchmark import build_benchmark
@@ -64,11 +63,9 @@ def _usable_cores() -> int:
 
 def _write_json(results: List[Dict], cores: int) -> None:
     """Append this run to the tracked history (keeps prior runs' numbers)."""
-    run = {
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "env": bench_env(),
-        "usable_cores": cores,
-        "config": {
+    append_bench_run(
+        JSON_PATH, "eval_sharding", "seconds",
+        config={
             "dataset": "fb15k-237",
             "split": "EQ",
             "scale": SCALE,
@@ -77,20 +74,9 @@ def _write_json(results: List[Dict], cores: int) -> None:
             "max_candidates": MAX_CANDIDATES,
             "hidden_dim": HIDDEN_DIM,
         },
-        "results": results,
-    }
-    payload = {"benchmark": "eval_sharding", "unit": "seconds", "runs": []}
-    try:
-        with open(JSON_PATH, "r", encoding="utf-8") as handle:
-            existing = json.load(handle)
-        if isinstance(existing.get("runs"), list):
-            payload["runs"] = existing["runs"]
-    except (OSError, ValueError):
-        pass  # first run, or an unreadable file: start a fresh history
-    payload["runs"].append(run)
-    with open(JSON_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+        results=results,
+        usable_cores=cores,
+    )
 
 
 def test_eval_sharding_scaling():

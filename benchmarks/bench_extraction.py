@@ -27,14 +27,13 @@ gate always stays hard.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from typing import Dict, List
 
 import numpy as np
 
-from common import bench_env, print_banner
+from common import append_bench_run, print_banner
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
 from repro.subgraph.extraction import extract_enclosing_subgraph
@@ -131,24 +130,11 @@ def _time_warm(graph: KnowledgeGraph, targets: List[Triple]) -> Dict[str, float]
 
 def _write_json(rows: List[Dict]) -> None:
     """Append this run to the tracked history (keeps prior runs' numbers)."""
-    run = {
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "env": bench_env(),
-        "config": {"hops": HOPS, "batch": BATCH, "repeats": REPEATS},
-        "results": rows,
-    }
-    payload = {"benchmark": "extraction", "unit": "seconds_per_workload", "runs": []}
-    try:
-        with open(JSON_PATH, "r", encoding="utf-8") as handle:
-            existing = json.load(handle)
-        if isinstance(existing.get("runs"), list):
-            payload["runs"] = existing["runs"]
-    except (OSError, ValueError):
-        pass  # first run, or an unreadable file: start a fresh history
-    payload["runs"].append(run)
-    with open(JSON_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    append_bench_run(
+        JSON_PATH, "extraction", "seconds_per_workload",
+        config={"hops": HOPS, "batch": BATCH, "repeats": REPEATS},
+        results=rows,
+    )
 
 
 def test_extraction_batched_vs_per_pair():

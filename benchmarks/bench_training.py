@@ -24,14 +24,13 @@ accumulates across runs.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from typing import Dict, List
 
 import numpy as np
 
-from common import bench_env, print_banner
+from common import append_bench_run, print_banner
 from repro.core.config import ModelConfig, TrainingConfig
 from repro.core.model import DEKGILP
 from repro.core.trainer import Trainer
@@ -96,10 +95,9 @@ def _train_interleaved(graph: KnowledgeGraph):
 
 def _write_json(rows: List[Dict]) -> None:
     """Append this run to the tracked history (keeps prior runs' numbers)."""
-    run = {
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "env": bench_env(),
-        "config": {
+    append_bench_run(
+        JSON_PATH, "training", "seconds_per_epoch",
+        config={
             "epochs": EPOCHS,
             "batch_size": BATCH_SIZE,
             "hidden_dim": HIDDEN_DIM,
@@ -107,20 +105,8 @@ def _write_json(rows: List[Dict]) -> None:
             "edge_dropout": 0.0,
             "num_negatives": 1,
         },
-        "results": rows,
-    }
-    payload = {"benchmark": "training", "unit": "seconds_per_epoch", "runs": []}
-    try:
-        with open(JSON_PATH, "r", encoding="utf-8") as handle:
-            existing = json.load(handle)
-        if isinstance(existing.get("runs"), list):
-            payload["runs"] = existing["runs"]
-    except (OSError, ValueError):
-        pass  # first run, or an unreadable file: start a fresh history
-    payload["runs"].append(run)
-    with open(JSON_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+        results=rows,
+    )
 
 
 def test_training_batched_vs_sequential():

@@ -16,7 +16,9 @@ variable ``REPRO_BENCH_FULL=1`` to sweep all nine datasets at a larger scale.
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
@@ -24,6 +26,7 @@ from repro.backend import active_backend, thread_counts
 from repro.datasets.benchmark import BenchmarkDataset, build_benchmark, dataset_names, split_names
 from repro.eval.evaluator import EvaluationResult, Evaluator
 from repro.experiment import train_model
+from repro.resilience import atomic_write_json
 
 FULL_SWEEP = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
@@ -102,6 +105,37 @@ def bench_env() -> Dict:
         "dtype_policy": backend.dtype_policy(),
         "threads": thread_counts(),
     }
+
+
+def append_bench_run(path: str, benchmark: str, unit: str,
+                     config: Dict, results: Sequence[Dict], **extra) -> None:
+    """Append one run to a ``BENCH_*.json`` history file, atomically.
+
+    The file holds ``{"benchmark", "unit", "runs": [...]}``; each run is
+    stamped with the UTC time and the :func:`bench_env` block (plus any
+    ``extra`` top-level keys, e.g. ``usable_cores``).  Prior runs' numbers
+    are preserved; an unreadable/corrupt history starts fresh rather than
+    aborting the benchmark.  The write goes through
+    :func:`repro.resilience.atomic_write_json`, so an interrupted benchmark
+    can never truncate the accumulated history.
+    """
+    run = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "env": bench_env(),
+        **extra,
+        "config": config,
+        "results": list(results),
+    }
+    payload = {"benchmark": benchmark, "unit": unit, "runs": []}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if isinstance(existing.get("runs"), list):
+            payload["runs"] = existing["runs"]
+    except (OSError, ValueError):
+        pass  # first run, or an unreadable file: start a fresh history
+    payload["runs"].append(run)
+    atomic_write_json(path, payload)
 
 
 def print_banner(title: str) -> None:

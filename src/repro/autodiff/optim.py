@@ -100,6 +100,34 @@ class Adam(Optimizer):
         self._m = [xp.zeros_like(p.data) for p in self.parameters]
         self._v = [xp.zeros_like(p.data) for p in self.parameters]
 
+    def state_dict(self) -> dict:
+        """Optimizer state (step count + per-parameter moment arrays).
+
+        The moments are returned by reference in parameter order; callers
+        persisting them should copy/convert (checkpoints store host numpy).
+        """
+        return {"step": self._step, "m": list(self._m), "v": list(self._v)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        The moment lists must align with this optimizer's parameter list —
+        resuming is only valid against the same architecture.
+        """
+        m, v = list(state["m"]), list(state["v"])
+        if len(m) != len(self.parameters) or len(v) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state holds {len(m)} moment pairs but this "
+                f"optimizer tracks {len(self.parameters)} parameters")
+        for index, param in enumerate(self.parameters):
+            if tuple(m[index].shape) != tuple(param.data.shape):
+                raise ValueError(
+                    f"optimizer moment {index} has shape {tuple(m[index].shape)} "
+                    f"but parameter has shape {tuple(param.data.shape)}")
+        self._step = int(state["step"])
+        self._m = [xp.asarray(array) for array in m]
+        self._v = [xp.asarray(array) for array in v]
+
     def step(self) -> None:
         self._step += 1
         bias_correction1 = 1.0 - self.beta1 ** self._step

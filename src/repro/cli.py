@@ -108,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--artifacts", default=None, metavar="DIR",
                             help="directory for config.json / model.npz / metrics.json "
                                  "(overrides the config's artifacts_dir)")
+    run_parser.add_argument("--resume", action="store_true",
+                            help="continue an interrupted training run from the "
+                                 "journal.npz epoch journal in the artifacts "
+                                 "directory (written every "
+                                 "training.checkpoint_every epochs); starts "
+                                 "from scratch if no journal exists")
 
     models_parser = subparsers.add_parser(
         "models", help="list every registered model with parameters and capabilities")
@@ -208,7 +214,7 @@ def _command_evaluate(args: argparse.Namespace) -> int:
 
 def _command_run(args: argparse.Namespace) -> int:
     experiment = Experiment.from_json_file(args.config)
-    run = experiment.run(artifacts_dir=args.artifacts)
+    run = experiment.run(artifacts_dir=args.artifacts, resume=args.resume)
     _print_result(run.result)
     if run.artifacts_dir is not None:
         print(f"\nartifacts written to {run.artifacts_dir} "

@@ -144,6 +144,15 @@ class EvalConfig:
     fans them out over ``N`` spawned processes, each holding its own model
     replica.  Results are bit-identical across worker counts."""
 
+    shard_timeout: Optional[float] = 300.0
+    """Seconds one shard attempt may run before the supervisor declares it
+    hung and reassigns it (``None`` disables deadlines).  Only meaningful
+    with ``workers > 1``; see :class:`repro.resilience.RetryPolicy`."""
+
+    shard_attempts: int = 3
+    """Total pool attempts per shard (first run + retries, with exponential
+    backoff) before it degrades to in-process execution in the parent."""
+
     def __post_init__(self):
         self.forms = tuple(self.forms)
         self.hits_levels = tuple(self.hits_levels)
@@ -161,6 +170,10 @@ class EvalConfig:
             raise ValueError("seed must be non-negative")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive or None")
+        if self.shard_attempts < 1:
+            raise ValueError("shard_attempts must be >= 1")
 
 
 @dataclass
@@ -192,6 +205,15 @@ class TrainingConfig:
     seed: int = 0
     verbose: bool = False
 
+    checkpoint_every: int = 0
+    """Epoch interval of the trainer's crash-resume journal.  ``N > 0``
+    writes an atomic journal checkpoint (model parameters, optimizer
+    moments, RNG states, epoch index) after every ``N``-th epoch when the
+    trainer was given a journal path; ``0`` disables journaling.  Resuming
+    from the journal reproduces the uninterrupted run's final parameters bit
+    for bit — journals are written only at epoch boundaries, never
+    mid-epoch."""
+
     def __post_init__(self):
         if self.learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
@@ -199,3 +221,5 @@ class TrainingConfig:
             raise ValueError("epochs and batch_size must be >= 1")
         if self.contrastive_weight < 0:
             raise ValueError("contrastive_weight must be non-negative")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0 (0 disables journaling)")

@@ -19,6 +19,20 @@ form is what the multiprocess evaluation shards use to ship a model replica
 to spawned workers: the parent serializes once, every worker rebuilds its own
 replica, and no autodiff graph state ever crosses the process boundary.
 
+Integrity (format v3)
+---------------------
+Disk writes are atomic (``tmp + fsync + os.replace`` via
+:mod:`repro.resilience.atomic`), so a crash mid-save leaves the previous
+checkpoint intact instead of a torn file.  The v3 header records a CRC32
+checksum (plus dtype and shape) for every parameter array; loading verifies
+them and raises :class:`CheckpointCorruptionError` **naming the failing
+section** — the corrupted array, the header, or the container file — instead
+of surfacing a numpy/zipfile decode traceback.  Version-2 checkpoints
+(pre-checksum) and version-1 checkpoints (pre-registry) still load.
+
+The same checksummed-archive layer (:func:`write_archive` /
+:func:`read_archive`) backs the trainer's crash-resume journal.
+
 The checkpoint records the seed the model was constructed with, and restore
 always reuses it.  Passing an explicit ``seed=`` to :func:`load_model` /
 :func:`model_from_bytes` is only an assertion: a value that does not match
@@ -30,17 +44,39 @@ from __future__ import annotations
 
 import io
 import json
+import zlib
 from pathlib import Path
-from typing import Any, Dict, Optional, Protocol, Union, runtime_checkable
+from typing import Any, Dict, Optional, Protocol, Tuple, Union, runtime_checkable
 
 import numpy as np
 
 from repro.backend import active_backend
+from repro.resilience import atomic_write_bytes, mangle
 
 PathLike = Union[str, Path]
 
 _HEADER_KEY = "__header__"
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
+#: Fault-injection site for checkpoint payloads hitting disk (see
+#: :func:`repro.resilience.faults.mangle`).
+_FAULT_SITE = "checkpoint"
+
+
+class CheckpointCorruptionError(ValueError):
+    """A checkpoint failed an integrity check.
+
+    ``section`` names what failed: ``"file"`` (the container is unreadable —
+    truncated, not an npz), ``"header"`` (the JSON header is missing or
+    undecodable), or the name of the parameter array whose bytes do not match
+    their recorded checksum/dtype/shape.
+    """
+
+    def __init__(self, section: str, source: str, reason: str):
+        super().__init__(
+            f"corrupted checkpoint {source}: {reason} [section: {section}]")
+        self.section = section
+        self.source = source
+        self.reason = reason
 
 
 @runtime_checkable
@@ -97,8 +133,118 @@ class CheckpointableModule:
         return model
 
 
-def _checkpoint_arrays(model) -> Dict[str, np.ndarray]:
-    """The npz payload: every parameter plus the JSON header array."""
+# --------------------------------------------------------------------- #
+# checksummed archive layer (shared by model checkpoints and journals)
+# --------------------------------------------------------------------- #
+def _array_checksum(array: np.ndarray) -> Dict[str, Any]:
+    contiguous = np.ascontiguousarray(array)
+    return {
+        "crc32": zlib.crc32(contiguous.tobytes()) & 0xFFFFFFFF,
+        "dtype": str(array.dtype),
+        "shape": list(array.shape),
+    }
+
+
+def _pack_raw(header: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> bytes:
+    """Serialize header + arrays to npz bytes with no stamping (test hook)."""
+    if _HEADER_KEY in arrays:
+        raise ValueError(f"arrays may not use the reserved key {_HEADER_KEY!r}")
+    payload = dict(arrays)
+    payload[_HEADER_KEY] = np.frombuffer(json.dumps(header).encode("utf-8"),
+                                         dtype=np.uint8)
+    buffer = io.BytesIO()
+    np.savez(buffer, **payload)
+    return buffer.getvalue()
+
+
+def pack_archive(header: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> bytes:
+    """Serialize a format-v3 archive: per-array checksums recorded in the header."""
+    arrays = {name: np.asarray(array) for name, array in arrays.items()}
+    header = dict(header)
+    header["format_version"] = _FORMAT_VERSION
+    header["checksums"] = {name: _array_checksum(array)
+                           for name, array in arrays.items()}
+    return _pack_raw(header, arrays)
+
+
+def unpack_archive(payload: bytes,
+                   source: str = "<bytes>") -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Decode and integrity-check an archive; inverse of :func:`pack_archive`.
+
+    Every failure surfaces as :class:`CheckpointCorruptionError` naming the
+    failing section; archives without a ``checksums`` header entry (formats
+    v1/v2) skip checksum verification but still get sectioned container and
+    header diagnostics.
+    """
+    try:
+        archive = np.load(io.BytesIO(payload))
+    except Exception as exc:
+        raise CheckpointCorruptionError(
+            "file", source, f"not a readable npz archive ({exc})") from exc
+    with archive:
+        if _HEADER_KEY not in archive:
+            raise CheckpointCorruptionError(
+                "header", source,
+                "not a repro checkpoint (missing header)")
+        try:
+            header = json.loads(bytes(archive[_HEADER_KEY].tolist()).decode("utf-8"))
+        except Exception as exc:
+            raise CheckpointCorruptionError(
+                "header", source, f"header is not valid JSON ({exc})") from exc
+        arrays: Dict[str, np.ndarray] = {}
+        for name in archive.files:
+            if name == _HEADER_KEY:
+                continue
+            try:
+                arrays[name] = archive[name]
+            except Exception as exc:
+                raise CheckpointCorruptionError(
+                    name, source,
+                    f"array {name!r} failed to decode ({exc})") from exc
+    checksums = header.get("checksums")
+    if checksums is not None:
+        for name in arrays:
+            if name not in checksums:
+                raise CheckpointCorruptionError(
+                    name, source,
+                    f"array {name!r} is not covered by the header checksums")
+        for name, recorded in checksums.items():
+            if name not in arrays:
+                raise CheckpointCorruptionError(
+                    name, source, f"checksummed array {name!r} is missing")
+            actual = _array_checksum(arrays[name])
+            for key in ("dtype", "shape", "crc32"):
+                if actual[key] != recorded.get(key):
+                    raise CheckpointCorruptionError(
+                        name, source,
+                        f"array {name!r} {key} mismatch: stored "
+                        f"{recorded.get(key)!r}, found {actual[key]!r}")
+    return header, arrays
+
+
+def read_archive(path: PathLike) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Read and integrity-check an archive file written by :func:`write_archive`."""
+    path = Path(path)
+    return unpack_archive(path.read_bytes(), source=str(path))
+
+
+def write_archive(path: PathLike, header: Dict[str, Any],
+                  arrays: Dict[str, np.ndarray]) -> Path:
+    """Atomically write a checksummed archive to ``path``.
+
+    The serialized payload passes through the ``"checkpoint"`` fault site on
+    its way to disk, so ``REPRO_FAULTS=checkpoint:0:corrupt:512`` chaos runs
+    exercise the corruption detection end to end.
+    """
+    payload = mangle(_FAULT_SITE, pack_archive(header, arrays))
+    return atomic_write_bytes(path, payload)
+
+
+# --------------------------------------------------------------------- #
+# model checkpoints
+# --------------------------------------------------------------------- #
+def _model_header_and_arrays(model) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """The model's archive content (header without version/checksum stamps)."""
     if not isinstance(model, Checkpointable):
         raise TypeError(
             f"{type(model).__name__} does not implement the Checkpointable "
@@ -116,7 +262,7 @@ def _checkpoint_arrays(model) -> Dict[str, np.ndarray]:
             f"model {spec.name!r} is registered with checkpointable=False")
     backend = active_backend()
     header = {
-        "format_version": _FORMAT_VERSION,
+        "kind": "model",
         "class": type(model).__name__,
         "name": getattr(model, "name", type(model).__name__),
         "seed": getattr(model, "seed", None),
@@ -130,14 +276,11 @@ def _checkpoint_arrays(model) -> Dict[str, np.ndarray]:
     # npz payload is backend-independent.  On numpy this is a no-op view.
     arrays = {name: backend.to_numpy(array)
               for name, array in model.checkpoint_arrays().items()}
-    if _HEADER_KEY in arrays:
-        raise ValueError(f"model arrays may not use the reserved key {_HEADER_KEY!r}")
-    arrays[_HEADER_KEY] = np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
-    return arrays
+    return header, arrays
 
 
 def _upgrade_v1_header(header: Dict[str, Any]) -> Dict[str, Any]:
-    """Adapt a format-v1 (DEKG-ILP-only) header to the v2 shape.
+    """Adapt a format-v1 (DEKG-ILP-only) header to the current shape.
 
     Version 1 predates the registry: it stored ``num_relations`` and the
     model config at the top level, always for the ``DEKGILP`` class, and did
@@ -154,17 +297,19 @@ def _upgrade_v1_header(header: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-def _model_from_archive(archive, source: str, seed: Optional[int]):
-    """Rebuild a model from an open npz archive (header + parameter arrays)."""
-    if _HEADER_KEY not in archive:
-        raise ValueError(f"{source} is not a repro model checkpoint (missing header)")
-    header = json.loads(bytes(archive[_HEADER_KEY].tolist()).decode("utf-8"))
+def _model_from_archive(header: Dict[str, Any], arrays: Dict[str, np.ndarray],
+                        source: str, seed: Optional[int]):
+    """Rebuild a model from a verified (header, arrays) pair."""
+    kind = header.get("kind", "model")
+    if kind != "model":
+        raise ValueError(
+            f"{source} is a {kind!r} archive, not a model checkpoint")
     if header.get("format_version") == 1:
         header = _upgrade_v1_header(header)
-    if header.get("format_version") != _FORMAT_VERSION:
+    if header.get("format_version") not in (2, _FORMAT_VERSION):
         raise ValueError(
             f"unsupported checkpoint format version {header.get('format_version')} "
-            f"(this build reads versions 1 and {_FORMAT_VERSION})")
+            f"(this build reads versions 1 through {_FORMAT_VERSION})")
     stored_seed = header.get("seed")
     if seed is not None and seed != stored_seed:
         recorded = "no seed" if stored_seed is None else f"seed={stored_seed}"
@@ -174,7 +319,6 @@ def _model_from_archive(archive, source: str, seed: Optional[int]):
     from repro.registry import resolve_model_class
 
     model_class = resolve_model_class(header["class"])
-    arrays = {name: archive[name] for name in archive.files if name != _HEADER_KEY}
     model = model_class.from_checkpoint(header["model"], arrays)
     if "name" in header:
         model.name = header["name"]
@@ -182,13 +326,16 @@ def _model_from_archive(archive, source: str, seed: Optional[int]):
 
 
 def save_model(model, path: PathLike) -> Path:
-    """Write ``model``'s configuration and parameters to ``path`` (``.npz``)."""
+    """Atomically write ``model``'s configuration and parameters to ``path``.
+
+    The write is crash-safe (``tmp + fsync + rename``): a previous checkpoint
+    at ``path`` is either fully replaced or left untouched, never torn.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **_checkpoint_arrays(model))
-    return path
+    header, arrays = _model_header_and_arrays(model)
+    return write_archive(path, header, arrays)
 
 
 def load_model(path: PathLike, seed: Optional[int] = None):
@@ -196,20 +343,21 @@ def load_model(path: PathLike, seed: Optional[int] = None):
 
     The restored model uses the seed recorded in the checkpoint; an explicit
     ``seed`` argument must match it (a mismatch raises ``ValueError``).
+    Integrity failures raise :class:`CheckpointCorruptionError` naming the
+    corrupted section.
     """
     path = Path(path)
-    with np.load(path) as archive:
-        return _model_from_archive(archive, str(path), seed)
+    header, arrays = read_archive(path)
+    return _model_from_archive(header, arrays, str(path), seed)
 
 
 def model_to_bytes(model) -> bytes:
     """Serialize ``model`` to an in-memory checkpoint (same format as disk)."""
-    buffer = io.BytesIO()
-    np.savez(buffer, **_checkpoint_arrays(model))
-    return buffer.getvalue()
+    header, arrays = _model_header_and_arrays(model)
+    return pack_archive(header, arrays)
 
 
 def model_from_bytes(payload: bytes, seed: Optional[int] = None):
     """Rebuild a model from :func:`model_to_bytes` output."""
-    with np.load(io.BytesIO(payload)) as archive:
-        return _model_from_archive(archive, "<bytes>", seed)
+    header, arrays = unpack_archive(payload)
+    return _model_from_archive(header, arrays, "<bytes>", seed)

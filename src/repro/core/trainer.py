@@ -9,21 +9,26 @@ objective is Eq. 15.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.autodiff import functional as F
 from repro.autodiff.optim import Adam, clip_grad_norm
 from repro.autodiff.tensor import Tensor
+from repro.backend import active_backend
 from repro.core.config import TrainingConfig
 from repro.core.contrastive import ContrastiveSampler, batch_contrastive_loss
 from repro.core.model import DEKGILP
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.sampling import NegativeSampler
 from repro.kg.triple import Triple
+from repro.resilience import atomic_write_json
+from repro.resilience.faults import fire
 
 
 @dataclass
@@ -106,11 +111,16 @@ class Trainer:
     """
 
     def __init__(self, model: DEKGILP, train_graph: KnowledgeGraph,
-                 config: Optional[TrainingConfig] = None):
+                 config: Optional[TrainingConfig] = None,
+                 journal_path: Optional[Union[str, Path]] = None):
         self.model = model
         self.train_graph = train_graph
         self.config = config or TrainingConfig()
+        #: Where :meth:`fit` writes the crash-resume journal (every
+        #: ``TrainingConfig.checkpoint_every`` epochs); ``None`` disables it.
+        self.journal_path = Path(journal_path) if journal_path is not None else None
         self.model.set_context(train_graph)
+        self._start_epoch = 0
         self._rng = np.random.default_rng(self.config.seed)
         self._negative_sampler = NegativeSampler(
             train_graph, num_negatives=self.config.num_negatives, seed=self.config.seed,
@@ -207,6 +217,7 @@ class Trainer:
     # ------------------------------------------------------------------ #
     def train_epoch(self, epoch: int = 0) -> EpochRecord:
         """Run one pass over the training triples and return the loss breakdown."""
+        fire("epoch", epoch)
         self.model.train()
         self.model.set_dropout_epoch(epoch)
         start = time.perf_counter()
@@ -262,8 +273,130 @@ class Trainer:
         return record
 
     def fit(self, epochs: Optional[int] = None) -> TrainingHistory:
-        """Train for ``epochs`` (default: the training config) and return the history."""
-        for epoch in range(epochs if epochs is not None else self.config.epochs):
-            self.train_epoch(epoch)
+        """Train for ``epochs`` (default: the training config) and return the history.
+
+        Starts from :meth:`restore_journal`'s epoch when a journal was
+        restored.  With a ``journal_path`` and ``checkpoint_every > 0`` the
+        resume journal is written (atomically) after every ``N``-th epoch; a
+        ``KeyboardInterrupt`` mid-fit flushes a partial-progress record next
+        to the journal before propagating, so an interrupted run reports how
+        far it got and where to resume from.
+        """
+        target = epochs if epochs is not None else self.config.epochs
+        every = self.config.checkpoint_every
+        try:
+            for epoch in range(self._start_epoch, target):
+                self.train_epoch(epoch)
+                if (self.journal_path is not None and every > 0
+                        and (epoch + 1) % every == 0):
+                    self.write_journal()
+        except KeyboardInterrupt:
+            self._flush_interrupt_record(target)
+            raise
         self.model.eval()
         return self.history
+
+    # ------------------------------------------------------------------ #
+    # crash-resume journal
+    # ------------------------------------------------------------------ #
+    def write_journal(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Atomically persist everything needed to continue training.
+
+        The journal is a checksummed :mod:`repro.core.persistence` archive
+        holding the model parameters, the Adam moments/step, the states of
+        every RNG the loop consumes (shuffle, negative sampling, contrastive
+        sampling — dropout is counter-seeded per epoch and needs no state)
+        and the epoch history.  It is written only at epoch boundaries, so
+        its contents are never torn mid-epoch; resuming from it continues the
+        exact RNG streams, making the final parameters bit-identical to an
+        uninterrupted run.
+        """
+        from repro.core.persistence import write_archive
+
+        path = Path(path) if path is not None else self.journal_path
+        if path is None:
+            raise ValueError("no journal path: pass one here or to Trainer()")
+        backend = active_backend()
+        arrays = {f"model/{name}": backend.to_numpy(array)
+                  for name, array in self.model.state_dict().items()}
+        optim_state = self.optimizer.state_dict()
+        for index in range(len(optim_state["m"])):
+            arrays[f"adam/m/{index}"] = backend.to_numpy(optim_state["m"][index])
+            arrays[f"adam/v/{index}"] = backend.to_numpy(optim_state["v"][index])
+        header = {
+            "kind": "journal",
+            "model_class": type(self.model).__name__,
+            "seed": self.config.seed,
+            "next_epoch": len(self.history.records) and self.history.records[-1].epoch + 1,
+            "optimizer_step": optim_state["step"],
+            "rng": {
+                "trainer": self._rng.bit_generator.state,
+                "negative_sampler": self._negative_sampler._rng.bit_generator.state,
+                "contrastive_sampler": self._contrastive_sampler._rng.bit_generator.state,
+            },
+            "history": [dataclasses.asdict(record) for record in self.history.records],
+        }
+        return write_archive(path, header, arrays)
+
+    def restore_journal(self, path: Optional[Union[str, Path]] = None) -> int:
+        """Load a :meth:`write_journal` archive and arm :meth:`fit` to resume.
+
+        Returns the epoch index training will continue from.  The journal
+        must match this trainer's model class and seed — resuming a
+        different configuration would silently produce a hybrid run.
+        """
+        from repro.core.persistence import read_archive
+
+        path = Path(path) if path is not None else self.journal_path
+        if path is None:
+            raise ValueError("no journal path: pass one here or to Trainer()")
+        header, arrays = read_archive(path)
+        if header.get("kind") != "journal":
+            raise ValueError(
+                f"{path} is a {header.get('kind', 'model')!r} archive, "
+                "not a training journal")
+        if header.get("model_class") != type(self.model).__name__:
+            raise ValueError(
+                f"journal {path} was written for model class "
+                f"{header.get('model_class')!r}, not {type(self.model).__name__!r}")
+        if header.get("seed") != self.config.seed:
+            raise ValueError(
+                f"journal {path} was written under training seed "
+                f"{header.get('seed')!r}, not {self.config.seed!r}; resuming "
+                "would mix two different RNG streams")
+        model_state = {name[len("model/"):]: array
+                       for name, array in arrays.items()
+                       if name.startswith("model/")}
+        self.model.load_state_dict(model_state)
+        moments = sum(1 for name in arrays if name.startswith("adam/m/"))
+        self.optimizer.load_state_dict({
+            "step": header["optimizer_step"],
+            "m": [arrays[f"adam/m/{index}"] for index in range(moments)],
+            "v": [arrays[f"adam/v/{index}"] for index in range(moments)],
+        })
+        rng = header["rng"]
+        self._rng.bit_generator.state = rng["trainer"]
+        self._negative_sampler._rng.bit_generator.state = rng["negative_sampler"]
+        self._contrastive_sampler._rng.bit_generator.state = rng["contrastive_sampler"]
+        self.history.records = [EpochRecord(**record)
+                                for record in header["history"]]
+        self._start_epoch = int(header["next_epoch"])
+        return self._start_epoch
+
+    def _flush_interrupt_record(self, target_epochs: int) -> None:
+        """Record partial progress on Ctrl-C (best effort, atomic)."""
+        if self.journal_path is None:
+            return
+        completed = len(self.history.records)
+        progress_path = self.journal_path.with_name(
+            self.journal_path.stem + ".progress.json")
+        try:
+            atomic_write_json(progress_path, {
+                "kind": "training-interrupt",
+                "completed_epochs": completed,
+                "target_epochs": target_epochs,
+                "journal": str(self.journal_path) if self.journal_path.exists() else None,
+            })
+        except OSError:
+            # Flushing progress must never mask the interrupt itself.
+            pass

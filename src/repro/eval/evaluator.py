@@ -188,18 +188,22 @@ class Evaluator:
 
     def __init__(self, dataset: BenchmarkDataset, forms: Sequence[str] = ("head", "tail"),
                  max_candidates: Optional[int] = 50, seed: int = 0,
-                 hits_levels: Sequence[int] = (1, 5, 10), workers: int = 1):
+                 hits_levels: Sequence[int] = (1, 5, 10), workers: int = 1,
+                 shard_timeout: Optional[float] = 300.0, shard_attempts: int = 3):
         # One validation path for both entry points: constructing the config
         # applies EvalConfig.__post_init__, so a typo'd prediction form or a
         # bad worker count fails here, not mid-evaluation inside a worker.
         config = EvalConfig(forms=tuple(forms), max_candidates=max_candidates,
-                            hits_levels=tuple(hits_levels), seed=seed, workers=workers)
+                            hits_levels=tuple(hits_levels), seed=seed, workers=workers,
+                            shard_timeout=shard_timeout, shard_attempts=shard_attempts)
         self.dataset = dataset
         self.forms = config.forms
         self.max_candidates = config.max_candidates
         self.hits_levels = config.hits_levels
         self.seed = config.seed
         self.workers = config.workers
+        self.shard_timeout = config.shard_timeout
+        self.shard_attempts = config.shard_attempts
 
         context = dataset.split.evaluation_graph()
         self._context = context
@@ -214,7 +218,8 @@ class Evaluator:
         """Build an evaluator from an :class:`~repro.core.config.EvalConfig`."""
         return cls(dataset, forms=config.forms, max_candidates=config.max_candidates,
                    seed=config.seed, hits_levels=config.hits_levels,
-                   workers=config.workers)
+                   workers=config.workers, shard_timeout=config.shard_timeout,
+                   shard_attempts=config.shard_attempts)
 
     # ------------------------------------------------------------------ #
     @property
@@ -247,7 +252,8 @@ class Evaluator:
 
     def evaluate(self, model, test_triples: Optional[Sequence[Triple]] = None,
                  model_name: Optional[str] = None,
-                 workers: Optional[int] = None) -> EvaluationResult:
+                 workers: Optional[int] = None,
+                 on_event=None, on_interrupt=None) -> EvaluationResult:
         """Rank every test triple with ``model`` and aggregate the metrics.
 
         ``model`` must provide ``set_context(graph)`` and ``score_many(triples)``.
@@ -255,8 +261,14 @@ class Evaluator:
         contiguous shards ranked by spawned worker processes, each holding its
         own replica of ``model`` (rebuilt from a checkpoint byte round-trip
         for DEKG-ILP, a pickle otherwise); metrics are bit-identical to the
-        in-process path for any worker count.  Two consequences of the
-        replica design: the sharded path requires an eval-mode model (a
+        in-process path for any worker count.  Shard execution is supervised
+        (per-shard ``shard_timeout``, ``shard_attempts`` retries with backoff,
+        dead-worker reassignment, in-process degradation — see
+        :mod:`repro.eval.sharding`), so a killed or hung worker delays the run
+        instead of wedging or corrupting it.  ``on_event`` observes
+        supervision events; ``on_interrupt(completed_shards, total_shards)``
+        observes partial progress if the run is interrupted.  Two consequences
+        of the replica design: the sharded path requires an eval-mode model (a
         training-mode model's dropout draws come from a mid-stream RNG no
         replica can reproduce, so it is rejected rather than silently
         diverging), and the context graph is bound worker-side — the parent
@@ -278,8 +290,13 @@ class Evaluator:
                 "reproduced in worker replicas, which would break the "
                 "bit-identity guarantee)")
         from repro.eval.sharding import evaluate_sharded
+        from repro.resilience import RetryPolicy
 
-        return evaluate_sharded(model, workload, self._context, workers)
+        policy = RetryPolicy(timeout=self.shard_timeout,
+                             max_attempts=self.shard_attempts)
+        return evaluate_sharded(model, workload, self._context, workers,
+                                policy=policy, on_event=on_event,
+                                on_interrupt=on_interrupt)
 
     # ------------------------------------------------------------------ #
     def evaluate_many(self, models: Dict[str, object],

@@ -31,6 +31,17 @@ Three properties make the fan-out deterministic and spawn-safe:
   warms on its own shards — per-model caches shard cleanly because caches
   only change wall clock, never scores.
 
+Execution is **supervised**, not a bare ``pool.map``: shards dispatch
+asynchronously through :class:`repro.resilience.supervisor.SupervisedPool`
+under per-shard deadlines, dead-worker detection and bounded backoff retry.
+A shard whose worker is killed is reassigned; a shard that exhausts its pool
+attempts — or every shard left once all workers are written off as hung —
+runs in-process on a parent-side replica.  Because shard results are
+deterministic, every recovery path yields metrics bit-identical to the
+failure-free run; the ordered reduce is untouched.  ``KeyboardInterrupt``
+terminates the pool (no leaked spawn workers) and reports partial progress
+before re-raising.
+
 The ``spawn`` start method is used unconditionally: it is the only method
 available everywhere, and it guarantees workers import a fresh interpreter
 instead of inheriting arbitrary parent state via fork.
@@ -39,18 +50,25 @@ instead of inheriting arbitrary parent state via fork.
 from __future__ import annotations
 
 import pickle
+import warnings
 from dataclasses import dataclass
 from functools import reduce
-from multiprocessing import get_context
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.eval.evaluator import EvaluationResult, ShardWorkload
 from repro.kg.graph import KnowledgeGraph
+from repro.resilience import RetryPolicy, SupervisedPool, TaskEvent, fire
 
 #: Shards per worker.  Item costs vary (subgraph sizes differ wildly between
 #: hub and leaf entities), so handing each worker several smaller shards lets
 #: the pool rebalance; contiguity per shard keeps the ordered reduce exact.
+#: Smaller shards also bound the blast radius of a failure: a killed worker
+#: or hung shard forfeits 1/(4·workers) of the run, not 1/workers.
 SHARDS_PER_WORKER = 4
+
+#: Fault-injection site fired at the start of every shard attempt
+#: (worker-side); see :mod:`repro.resilience.faults`.
+FAULT_SITE = "shard"
 
 
 @dataclass(frozen=True)
@@ -65,8 +83,6 @@ def __getattr__(name: str):
     # Pre-registry name of ReplicaSpec; kept as a deprecated alias so it
     # cannot be confused with the unrelated repro.registry.ModelSpec.
     if name == "ModelSpec":
-        import warnings
-
         warnings.warn(
             "repro.eval.sharding.ModelSpec was renamed to ReplicaSpec "
             "(repro.registry.ModelSpec is the registry entry, a different type)",
@@ -80,11 +96,14 @@ def make_model_spec(model) -> ReplicaSpec:
 
     Checkpointable models go through the persistence checkpoint (exact
     parameter round-trip, no autodiff closures); everything else must
-    pickle.  The caller (:meth:`Evaluator.evaluate`) guarantees the model is
-    in eval mode: a training-mode model draws dropout from a mid-stream RNG
-    that a freshly rebuilt replica cannot reproduce, which would silently
-    break the bit-identity guarantee, so sharded evaluation refuses it up
-    front.
+    pickle.  A registered-checkpointable model whose checkpoint serialization
+    *fails* degrades to pickling with a warning naming the checkpoint error —
+    and if pickling then fails too, the raised ``TypeError`` chains the
+    original checkpoint failure instead of discarding it.  The caller
+    (:meth:`Evaluator.evaluate`) guarantees the model is in eval mode: a
+    training-mode model draws dropout from a mid-stream RNG that a freshly
+    rebuilt replica cannot reproduce, which would silently break the
+    bit-identity guarantee, so sharded evaluation refuses it up front.
     """
     from repro.core.persistence import Checkpointable, model_to_bytes
     from repro.registry import spec_for_class
@@ -94,16 +113,30 @@ def make_model_spec(model) -> ReplicaSpec:
         raise TypeError(
             f"model {registered_spec.name!r} is registered with "
             "supports_sharded_eval=False; evaluate with workers=1 instead")
+    checkpoint_error: Optional[Exception] = None
     if isinstance(model, Checkpointable):
         # The worker rebuilds the replica by class name through the registry,
         # so the checkpoint path is only valid for classes the registry can
         # resolve back to exactly this type; an unregistered Checkpointable
         # subclass falls through to pickling.
         if registered_spec is not None and registered_spec.checkpointable:
-            return ReplicaSpec(kind="checkpoint", payload=model_to_bytes(model))
+            try:
+                return ReplicaSpec(kind="checkpoint", payload=model_to_bytes(model))
+            except Exception as exc:
+                checkpoint_error = exc
+                warnings.warn(
+                    f"checkpoint serialization of {type(model).__name__} failed "
+                    f"({exc!r}); falling back to pickling the live object",
+                    RuntimeWarning, stacklevel=2)
     try:
         return ReplicaSpec(kind="pickle", payload=pickle.dumps(model))
     except Exception as exc:
+        if checkpoint_error is not None:
+            raise TypeError(
+                f"cannot ship {type(model).__name__} to evaluation workers: "
+                f"checkpoint serialization failed ({checkpoint_error!r}) and so "
+                f"did the pickle fallback ({exc!r}); "
+                f"evaluate with workers=1 instead") from checkpoint_error
         raise TypeError(
             f"cannot ship {type(model).__name__} to evaluation workers: it is "
             f"neither Checkpointable nor picklable ({exc}); "
@@ -144,7 +177,8 @@ def contiguous_shards(num_items: int, num_shards: int) -> List[Tuple[int, int]]:
 # worker side
 # --------------------------------------------------------------------- #
 #: (model, workload) installed by the pool initializer; one per worker
-#: process, rebuilt on spawn, never shared.
+#: process, rebuilt on spawn, never shared.  A respawned worker (after a
+#: crash) reruns the initializer, so replicas self-heal.
 _WORKER_STATE = None
 
 
@@ -155,7 +189,9 @@ def _init_worker(spec: ReplicaSpec, workload: ShardWorkload, context_graph: Know
     _WORKER_STATE = (model, workload)
 
 
-def _run_shard(bounds: Tuple[int, int]) -> EvaluationResult:
+def _run_shard(index: int, bounds: Tuple[int, int], attempt: int) -> EvaluationResult:
+    """Rank one shard.  ``REPRO_FAULTS`` specs at site ``shard`` fire here."""
+    fire(FAULT_SITE, index, attempt)
     model, workload = _WORKER_STATE
     return workload.run(model, bounds[0], bounds[1])
 
@@ -164,20 +200,42 @@ def _run_shard(bounds: Tuple[int, int]) -> EvaluationResult:
 # parent side
 # --------------------------------------------------------------------- #
 def evaluate_sharded(model, workload: ShardWorkload, context_graph: KnowledgeGraph,
-                     workers: int) -> EvaluationResult:
+                     workers: int, policy: Optional[RetryPolicy] = None,
+                     on_event: Optional[Callable[[TaskEvent], None]] = None,
+                     on_interrupt: Optional[Callable[[int, int], None]] = None,
+                     ) -> EvaluationResult:
     """Rank ``workload`` across ``workers`` processes and reduce the partials.
 
     The caller guarantees ``workers >= 2`` and a non-empty workload.  The
     model is serialized once; each worker rebuilds its replica in the pool
-    initializer and then ranks several contiguous shards.  ``pool.map``
-    returns shard results in submission order, so the left-to-right merge
-    yields rank lists identical to a sequential run.
+    initializer and then ranks several contiguous shards.  Dispatch runs
+    under ``policy`` (default :class:`RetryPolicy`): failed/timed-out shards
+    are retried with backoff, shards stranded by a dying pool run in-process
+    on a parent-side replica, and results land in submission order, so the
+    left-to-right merge yields rank lists identical to a sequential run even
+    when shards were recovered.  ``on_interrupt(completed, total)`` observes
+    partial progress when the run is interrupted (the pool is always torn
+    down; spawned workers never leak).
     """
     workers = min(workers, workload.num_items)
     spec = make_model_spec(model)
     bounds = contiguous_shards(workload.num_items, workers * SHARDS_PER_WORKER)
-    spawn = get_context("spawn")
-    with spawn.Pool(processes=workers, initializer=_init_worker,
-                    initargs=(spec, workload, context_graph)) as pool:
-        partials = pool.map(_run_shard, bounds)
+
+    # Parent-side replica for degraded (in-process) shard execution, built
+    # lazily on first use from the same bytes the workers got — the caller's
+    # model object stays unmutated either way.
+    replica_cell: List[object] = []
+
+    def run_in_process(index: int, shard_bounds: Tuple[int, int]) -> EvaluationResult:
+        if not replica_cell:
+            replica = restore_model(spec)
+            replica.set_context(context_graph)
+            replica_cell.append(replica)
+        return workload.run(replica_cell[0], shard_bounds[0], shard_bounds[1])
+
+    supervisor = SupervisedPool(processes=workers, initializer=_init_worker,
+                                initargs=(spec, workload, context_graph),
+                                policy=policy)
+    partials = supervisor.run(_run_shard, bounds, run_in_process,
+                              on_event=on_event, on_interrupt=on_interrupt)
     return reduce(lambda left, right: left.merge(right), partials)

@@ -40,6 +40,7 @@ from repro.datasets.benchmark import (BenchmarkDataset, build_benchmark,
 from repro.eval.evaluator import EvaluationResult, Evaluator
 from repro.registry import (allowed_override_keys, build_model, get_spec,
                             model_names)
+from repro.resilience import atomic_write_json, atomic_write_text
 
 PathLike = Union[str, Path]
 
@@ -196,10 +197,7 @@ class ExperimentConfig:
         return cls.from_dict(json.loads(text))
 
     def save(self, path: PathLike) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n", encoding="utf-8")
-        return path
+        return atomic_write_text(Path(path), self.to_json() + "\n")
 
     @classmethod
     def load(cls, path: PathLike) -> "ExperimentConfig":
@@ -256,7 +254,9 @@ def train_model(name: str, dataset: BenchmarkDataset, epochs: int = 3,
                 embedding_dim: int = 32, seed: int = 0,
                 model_config: Optional[ModelConfig] = None,
                 training_config: Optional[TrainingConfig] = None,
-                overrides: Optional[Mapping[str, Any]] = None):
+                overrides: Optional[Mapping[str, Any]] = None,
+                journal_path: Optional[PathLike] = None,
+                resume: bool = False):
     """Train the registered model ``name`` on ``dataset``, ready to score.
 
     The returned object implements ``set_context`` / ``score_many`` /
@@ -276,6 +276,14 @@ def train_model(name: str, dataset: BenchmarkDataset, epochs: int = 3,
     constructor signature.  A ``training_config`` that sets a trainer-only
     field away from its default for a baseline raises instead of being
     silently ignored (see :func:`check_training_config_applies`).
+
+    ``journal_path`` arms the trainer's crash-resume journal (written every
+    ``TrainingConfig.checkpoint_every`` epochs); with ``resume=True`` an
+    existing journal at that path is restored first and training continues
+    from its epoch — the final parameters are bit-identical to an
+    uninterrupted run.  A missing journal under ``resume=True`` simply
+    trains from scratch (restart-loop friendly); resume is only meaningful
+    for trainer-driven models and raises for self-training baselines.
     """
     spec = get_spec(name)
     check_training_config_applies(name, training_config)
@@ -287,8 +295,15 @@ def train_model(name: str, dataset: BenchmarkDataset, epochs: int = 3,
                             model_config=model_config, overrides=overrides)
         training = training_config or TrainingConfig(epochs=epochs, seed=seed)
         training = spec.apply_training_overrides(training)
-        Trainer(model, train_graph, training).fit()
+        trainer = Trainer(model, train_graph, training, journal_path=journal_path)
+        if resume and journal_path is not None and Path(journal_path).exists():
+            trainer.restore_journal()
+        trainer.fit()
         return model
+    if resume:
+        raise ValueError(
+            f"model {name!r} trains itself in one shot; the epoch journal "
+            "and --resume only apply to trainer-driven models")
     if training_config is not None:
         # The two fields check_training_config_applies declares applicable to
         # self-training baselines really do apply; an explicit section wins
@@ -344,6 +359,7 @@ class Experiment:
         self._dataset = dataset
         self._model = None
         self._result: Optional[EvaluationResult] = None
+        self._artifacts_override: Optional[Path] = None
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -365,14 +381,30 @@ class Experiment:
                                             seed=section.seed, scale=section.scale)
         return self._dataset
 
-    def train(self):
+    def _artifacts_directory(self) -> Optional[Path]:
+        """Where artifacts (and the training journal) go, if anywhere."""
+        if self._artifacts_override is not None:
+            return self._artifacts_override
+        if self.config.artifacts_dir is not None:
+            return Path(self.config.artifacts_dir)
+        return None
+
+    def train(self, resume: bool = False):
         """Train (once) and return the configured model.
 
         Runs under the config's ``backend`` (``None`` keeps the ambient
-        backend — CLI flag, ``REPRO_BACKEND``, or numpy).
+        backend — CLI flag, ``REPRO_BACKEND``, or numpy).  When an artifacts
+        directory is configured, trainer-driven models journal their progress
+        to ``<artifacts>/journal.npz`` every
+        ``TrainingConfig.checkpoint_every`` epochs; ``resume=True`` continues
+        from that journal if it exists (bit-identical final parameters).
         """
         if self._model is None:
             section = self.config.model
+            directory = self._artifacts_directory()
+            journal = None
+            if directory is not None and get_spec(section.name).trainer_driven:
+                journal = directory / "journal.npz"
             with use_backend(self.config.backend):
                 self._model = train_model(
                     section.name, self.dataset,
@@ -380,33 +412,59 @@ class Experiment:
                     embedding_dim=section.embedding_dim,
                     seed=self.config.training.seed,
                     training_config=self.config.training,
-                    overrides=section.overrides)
+                    overrides=section.overrides,
+                    journal_path=journal, resume=resume)
         return self._model
 
-    def evaluate(self) -> EvaluationResult:
-        """Evaluate the trained model (training first if needed)."""
+    def evaluate(self, resume: bool = False) -> EvaluationResult:
+        """Evaluate the trained model (training first if needed).
+
+        If the run is interrupted during sharded evaluation, the worker pool
+        is torn down cleanly and — when an artifacts directory is configured —
+        a partial-progress record lands at ``<artifacts>/eval.progress.json``
+        before the interrupt propagates.
+        """
         if self._result is None:
-            model = self.train()
+            model = self.train(resume=resume)
             with use_backend(self.config.backend):
                 evaluator = Evaluator.from_config(self.dataset, self.config.eval)
-                self._result = evaluator.evaluate(model, model_name=self.config.model.name)
+                directory = self._artifacts_directory()
+                on_interrupt = None
+                if directory is not None:
+                    def on_interrupt(completed: int, total: int) -> None:
+                        atomic_write_json(directory / "eval.progress.json", {
+                            "kind": "eval-interrupt",
+                            "model": self.config.model.name,
+                            "completed_shards": completed,
+                            "total_shards": total,
+                        })
+                self._result = evaluator.evaluate(model,
+                                                  model_name=self.config.model.name,
+                                                  on_interrupt=on_interrupt)
         return self._result
 
     # ------------------------------------------------------------------ #
-    def run(self, artifacts_dir: Optional[PathLike] = None) -> ExperimentRun:
+    def run(self, artifacts_dir: Optional[PathLike] = None,
+            resume: bool = False) -> ExperimentRun:
         """Train, evaluate and (optionally) persist artifacts.
 
         ``artifacts_dir`` (argument, falling back to the config field)
         receives ``config.json`` (the exact configuration), ``model.npz``
         (the :mod:`repro.core.persistence` checkpoint) and ``metrics.json``
-        (the per-scope metric summary plus the config for provenance).
+        (the per-scope metric summary plus the config for provenance); every
+        file is written atomically, so a crash never leaves a torn artifact.
+        ``resume=True`` continues an interrupted training run from the
+        ``journal.npz`` epoch journal in the artifacts directory, if present.
         """
-        result = self.evaluate()
-        run = ExperimentRun(config=self.config, model=self._model, result=result)
         directory = artifacts_dir if artifacts_dir is not None else self.config.artifacts_dir
         if directory is not None:
+            # Created up front: the trainer journals into it mid-run.
             directory = Path(directory)
             directory.mkdir(parents=True, exist_ok=True)
+            self._artifacts_override = directory
+        result = self.evaluate(resume=resume)
+        run = ExperimentRun(config=self.config, model=self._model, result=result)
+        if directory is not None:
             run.artifacts_dir = directory
             # The written config records the run that actually happened:
             # variant training pins applied (DEKG-ILP-C's contrastive weight
@@ -440,7 +498,5 @@ class Experiment:
                           else value)
                     for key, value in cache_stats().items()
                 }
-            run.metrics_path = directory / "metrics.json"
-            run.metrics_path.write_text(json.dumps(metrics, indent=2) + "\n",
-                                        encoding="utf-8")
+            run.metrics_path = atomic_write_json(directory / "metrics.json", metrics)
         return run

@@ -1,0 +1,80 @@
+"""Atomic artifact writes: tmp file + fsync + rename.
+
+Every artifact this repo persists — model checkpoints, training journals,
+``metrics.json``/``config.json`` in an experiment's artifacts directory, the
+``BENCH_*.json`` benchmark histories — goes through these helpers so a crash
+mid-write can never leave a torn file at the final path.  The sequence is the
+standard one:
+
+1. write the full payload to a uniquely-named temporary file *in the target
+   directory* (same filesystem, so the rename is atomic),
+2. flush and ``fsync`` the temporary file so the bytes are durable before the
+   name is,
+3. ``os.replace`` onto the final path (atomic on POSIX and Windows),
+4. best-effort ``fsync`` of the directory so the rename itself survives a
+   power loss.
+
+Readers therefore observe either the previous complete file or the new
+complete file, never a prefix.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Union
+
+PathLike = Union[str, Path]
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush the directory entry after a rename (best effort).
+
+    Some platforms/filesystems do not support opening or fsyncing a
+    directory; losing this sync only weakens power-loss durability, never
+    atomicity, so failures are ignored.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        with contextlib.suppress(OSError):
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data``; returns the final path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                    prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        # Leave no orphaned temporary behind on any failure (including
+        # KeyboardInterrupt between write and rename).
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    _fsync_directory(path.parent)
+    return path
+
+
+def atomic_write_text(path: PathLike, text: str, encoding: str = "utf-8") -> Path:
+    """Atomically replace ``path`` with ``text``."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path: PathLike, payload: Any, indent: int = 2) -> Path:
+    """Atomically replace ``path`` with ``payload`` serialized as JSON."""
+    return atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

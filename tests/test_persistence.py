@@ -2,13 +2,19 @@
 
 from __future__ import annotations
 
+import io
+import json
+
 import numpy as np
 import pytest
 
 from repro.core.config import ModelConfig, TrainingConfig
 from repro.core.model import DEKGILP
-from repro.core.persistence import (Checkpointable, load_model, model_from_bytes,
-                                    model_to_bytes, save_model)
+from repro.core.persistence import (Checkpointable, CheckpointCorruptionError,
+                                    _array_checksum, _pack_raw, load_model,
+                                    model_from_bytes, model_to_bytes,
+                                    pack_archive, read_archive, save_model,
+                                    unpack_archive)
 from repro.core.trainer import Trainer
 from repro.experiment import train_model
 from repro.kg.triple import Triple
@@ -170,3 +176,116 @@ class TestEveryRegisteredModelRoundTrips:
         probe = dataset.test_triples[:5]
         np.testing.assert_array_equal(model.score_many(probe),
                                       restored.score_many(probe))
+
+
+class TestCorruptionMatrix:
+    """Every way an archive can rot must surface as a sectioned error."""
+
+    @staticmethod
+    def _archive():
+        header = {"kind": "model", "note": "corruption-matrix probe"}
+        arrays = {"w": np.arange(12, dtype=np.float64).reshape(3, 4),
+                  "b": np.ones(4, dtype=np.float32)}
+        return header, arrays
+
+    def test_truncated_file(self):
+        header, arrays = self._archive()
+        payload = pack_archive(header, arrays)
+        with pytest.raises(CheckpointCorruptionError) as excinfo:
+            unpack_archive(payload[: len(payload) // 3])
+        assert excinfo.value.section == "file"
+
+    def test_missing_header(self):
+        buffer = io.BytesIO()
+        np.savez(buffer, w=np.zeros(3))  # an npz, but not one of ours
+        with pytest.raises(CheckpointCorruptionError) as excinfo:
+            unpack_archive(buffer.getvalue())
+        assert excinfo.value.section == "header"
+        assert "missing header" in str(excinfo.value)
+
+    def test_header_not_json(self):
+        buffer = io.BytesIO()
+        np.savez(buffer, __header__=np.frombuffer(b"{not json", dtype=np.uint8),
+                 w=np.zeros(3))
+        with pytest.raises(CheckpointCorruptionError) as excinfo:
+            unpack_archive(buffer.getvalue())
+        assert excinfo.value.section == "header"
+
+    def test_bit_flipped_array_payload(self):
+        header, arrays = self._archive()
+        payload = pack_archive(header, arrays)
+        # np.savez stores members uncompressed, so the array's bytes appear
+        # literally in the container; flip one bit in the middle of "w".
+        needle = np.ascontiguousarray(arrays["w"]).tobytes()
+        offset = payload.index(needle) + len(needle) // 2
+        tampered = bytearray(payload)
+        tampered[offset] ^= 0x01
+        with pytest.raises(CheckpointCorruptionError) as excinfo:
+            unpack_archive(bytes(tampered))
+        assert excinfo.value.section == "w"
+
+    def test_checksum_mismatch(self):
+        header, arrays = self._archive()
+        stamped = json.loads(
+            json.dumps({**header, "format_version": 3,
+                        "checksums": {name: _array_checksum(array)
+                                      for name, array in arrays.items()}}))
+        stamped["checksums"]["b"]["crc32"] ^= 0xDEADBEEF
+        with pytest.raises(CheckpointCorruptionError) as excinfo:
+            unpack_archive(_pack_raw(stamped, arrays))
+        assert excinfo.value.section == "b"
+        assert "crc32 mismatch" in str(excinfo.value)
+
+    def test_uncovered_array_rejected(self):
+        header, arrays = self._archive()
+        checksums = {"w": _array_checksum(arrays["w"])}  # "b" not covered
+        raw = _pack_raw({**header, "format_version": 3, "checksums": checksums},
+                        arrays)
+        with pytest.raises(CheckpointCorruptionError) as excinfo:
+            unpack_archive(raw)
+        assert excinfo.value.section == "b"
+
+    def test_missing_checksummed_array_rejected(self):
+        header, arrays = self._archive()
+        checksums = {name: _array_checksum(array) for name, array in arrays.items()}
+        del arrays["b"]  # checksummed but absent
+        raw = _pack_raw({**header, "format_version": 3, "checksums": checksums},
+                        arrays)
+        with pytest.raises(CheckpointCorruptionError) as excinfo:
+            unpack_archive(raw)
+        assert excinfo.value.section == "b"
+
+    def test_corruption_error_names_path(self, tmp_path):
+        path = tmp_path / "model.npz"
+        path.write_bytes(b"definitely not an npz archive")
+        with pytest.raises(CheckpointCorruptionError) as excinfo:
+            read_archive(path)
+        assert excinfo.value.section == "file"
+        assert str(path) in str(excinfo.value)
+
+    def test_corruption_error_is_a_value_error(self):
+        # Callers that predate v3 catch ValueError; corruption must still
+        # land in those handlers.
+        assert issubclass(CheckpointCorruptionError, ValueError)
+
+    def test_v2_archive_without_checksums_roundtrips(self, trained_model, tmp_path):
+        """A pre-v3 checkpoint (no checksums header) still loads bit-exact."""
+        path = save_model(trained_model, tmp_path / "model.npz")
+        header, arrays = read_archive(path)
+        assert header["format_version"] == 3 and "checksums" in header
+        v2_header = {key: value for key, value in header.items()
+                     if key != "checksums"}
+        v2_header["format_version"] = 2
+        (tmp_path / "v2.npz").write_bytes(_pack_raw(v2_header, arrays))
+        restored = load_model(tmp_path / "v2.npz")
+        for name, value in trained_model.state_dict().items():
+            np.testing.assert_array_equal(value, restored.state_dict()[name])
+
+    def test_bit_flipped_model_checkpoint_rejected_by_load(self, trained_model,
+                                                           tmp_path):
+        path = save_model(trained_model, tmp_path / "model.npz")
+        payload = bytearray(path.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        path.write_bytes(bytes(payload))
+        with pytest.raises(CheckpointCorruptionError):
+            load_model(path)
