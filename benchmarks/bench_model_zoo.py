@@ -1,0 +1,108 @@
+"""Model-zoo acceptance sweep: every registered model vs its declared band.
+
+Trains **every** model in the registry on the fixed, fully-seeded
+:data:`repro.eval.acceptance.ZOO_PROFILE`, evaluates it under the profile's
+filtered-ranking protocol, and records MRR / Hits@N next to the acceptance
+band CI enforces (``lo <= MRR <= hi``; see ``tests/test_model_zoo.py`` for
+the tier-1 gate).  Results are appended to ``BENCH_model_zoo.json``
+(override with ``REPRO_BENCH_ZOO_JSON``) so the zoo's quality history is a
+tracked artifact, not a one-off console line.
+
+The band asserts can be disabled with ``REPRO_BENCH_ZOO_GATE=off`` while
+re-baselining: the sweep then still runs, still records the JSON, and prints
+a suggested-band table (the band policy applied to the fresh measurements)
+to copy into ``repro.eval.acceptance.ACCEPTANCE_BANDS``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Dict, List
+
+from common import append_bench_run, print_banner
+from repro.eval.acceptance import (ACCEPTANCE_BANDS, ZOO_PROFILE,
+                                   build_zoo_dataset, evaluate_zoo_model,
+                                   suggest_band, train_zoo_model,
+                                   zoo_test_triples)
+from repro.registry import default_parameter_count, model_names
+
+JSON_PATH = os.environ.get(
+    "REPRO_BENCH_ZOO_JSON",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_model_zoo.json"))
+GATE = os.environ.get("REPRO_BENCH_ZOO_GATE", "on") != "off"
+
+
+def _sweep() -> List[Dict]:
+    dataset = build_zoo_dataset()
+    triples = zoo_test_triples(dataset)
+    rows: List[Dict] = []
+    for name in model_names():
+        train_start = time.perf_counter()
+        model = train_zoo_model(name, dataset)
+        train_seconds = time.perf_counter() - train_start
+        eval_start = time.perf_counter()
+        result = evaluate_zoo_model(model, name, dataset, test_triples=triples)
+        eval_seconds = time.perf_counter() - eval_start
+        band = ACCEPTANCE_BANDS.get(name)
+        summary = result.overall.summary()
+        rows.append({
+            "model": name,
+            "parameters": default_parameter_count(name),
+            "mrr": summary["MRR"],
+            "hits": {key: value for key, value in summary.items() if key != "MRR"},
+            "band": band.as_dict() if band is not None else None,
+            "in_band": band.contains(summary["MRR"]) if band is not None else None,
+            "train_seconds": train_seconds,
+            "eval_seconds": eval_seconds,
+        })
+    return rows
+
+
+def test_model_zoo_acceptance_sweep():
+    """Train + evaluate the whole zoo, record the band matrix, assert it."""
+    rows = _sweep()
+
+    append_bench_run(
+        JSON_PATH, "model_zoo", "mrr",
+        config=dataclasses.asdict(ZOO_PROFILE),
+        results=rows,
+    )
+
+    print_banner(
+        f"Model zoo: {len(rows)} registered models on {ZOO_PROFILE.dataset}/"
+        f"{ZOO_PROFILE.split} (scale={ZOO_PROFILE.scale}, "
+        f"epochs={ZOO_PROFILE.epochs}) vs declared acceptance bands")
+    for row in rows:
+        band = row["band"]
+        band_text = (f"[{band['lo']:.2f}, {band['hi']:.2f}]"
+                     if band is not None else "(no band!)")
+        flag = {True: "ok", False: "OUT OF BAND", None: "UNDECLARED"}[row["in_band"]]
+        print(f"  {row['model']:12s} MRR={row['mrr']:.4f} in {band_text:14s} "
+              f"{flag:12s} params={row['parameters']:7d} "
+              f"train={row['train_seconds']:5.1f}s eval={row['eval_seconds']:4.1f}s")
+    print(f"  -> {JSON_PATH}")
+
+    if not GATE:
+        print_banner("Suggested bands (REPRO_BENCH_ZOO_GATE=off re-baseline mode)")
+        for row in rows:
+            suggestion = suggest_band(row["mrr"])
+            print(f'    "{row["model"]}": AcceptanceBand({suggestion.lo:.2f}, '
+                  f"{suggestion.hi:.2f}),")
+        return
+
+    undeclared = [row["model"] for row in rows if row["band"] is None]
+    assert not undeclared, (
+        f"models without an acceptance band: {undeclared}; declare one in "
+        "repro.eval.acceptance.ACCEPTANCE_BANDS (re-run with "
+        "REPRO_BENCH_ZOO_GATE=off for suggested windows)")
+    out_of_band = [(row["model"], row["mrr"], row["band"]) for row in rows
+                   if not row["in_band"]]
+    assert not out_of_band, (
+        f"models outside their declared MRR band: {out_of_band}; if the "
+        "change is intentional, re-baseline per docs/BENCHMARKS.md")
+
+
+if __name__ == "__main__":
+    test_model_zoo_acceptance_sweep()

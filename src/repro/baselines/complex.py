@@ -1,0 +1,49 @@
+"""ComplEx (Trouillon et al., 2016): complex-valued bilinear scoring.
+
+Entity and relation embeddings are complex vectors stored as
+``[real ‖ imaginary]`` blocks of length ``2d``.  The score is the real part
+of the trilinear Hermitian product ``Re(<h, r, conj(t)>)``, which expands to
+
+    Σ  h_re·r_re·t_re + h_im·r_re·t_im + h_re·r_im·t_im − h_im·r_im·t_re
+
+and, unlike DistMult's symmetric bilinear form, can model antisymmetric
+relations through the imaginary components.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.baselines.base import EmbeddingModel
+from repro.registry import register_model
+
+
+@register_model("ComplEx",
+                description="complex bilinear scoring Re(<h, r, conj(t)>) (transductive)")
+class ComplEx(EmbeddingModel):
+    """Complex-valued semantic-matching baseline."""
+
+    name = "ComplEx"
+
+    def entity_dim(self) -> int:
+        return 2 * self.embedding_dim
+
+    def relation_dim(self) -> int:
+        return 2 * self.embedding_dim
+
+    def score_batch(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> Tensor:
+        head = self.entity_embeddings(heads)
+        relation = self.relation_embeddings(relations)
+        tail = self.entity_embeddings(tails)
+
+        d = self.embedding_dim
+        head_re, head_im = head[:, :d], head[:, d:]
+        rel_re, rel_im = relation[:, :d], relation[:, d:]
+        tail_re, tail_im = tail[:, :d], tail[:, d:]
+
+        real_part = (head_re * rel_re * tail_re
+                     + head_im * rel_re * tail_im
+                     + head_re * rel_im * tail_im
+                     - head_im * rel_im * tail_re)
+        return real_part.sum(axis=1)

@@ -1,0 +1,46 @@
+"""HolE (Nickel et al., 2016): holographic embeddings via circular correlation.
+
+The score is ``r · (h ⋆ t)`` where ``⋆`` is circular correlation,
+``(h ⋆ t)[k] = Σ_i h[i] · t[(k + i) mod d]`` — a compressed tensor product
+that keeps DistMult-sized embeddings while capturing asymmetric
+interactions.  The correlation is implemented as one fancy-indexed gather of
+the cyclically shifted tail embedding (a ``(d, d)`` index matrix precomputed
+at construction) followed by a broadcasted multiply-reduce, so gradients
+flow through the autodiff engine's existing indexing and broadcasting
+primitives — no FFT kernel is required at these embedding sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.baselines.base import EmbeddingModel
+from repro.registry import register_model
+
+
+@register_model("HolE",
+                description="holographic embeddings r · (h ⋆ t) via circular correlation")
+class HolE(EmbeddingModel):
+    """Circular-correlation baseline."""
+
+    name = "HolE"
+
+    def __init__(self, num_entities: int, num_relations: int, embedding_dim: int = 32,
+                 **kwargs):
+        super().__init__(num_entities, num_relations, embedding_dim, **kwargs)
+        # shift_index[k, i] = (k + i) mod d: row k selects the tail entries
+        # that pair with the head under a cyclic shift of k positions.
+        offsets = np.arange(self.embedding_dim, dtype=np.int64)
+        self._shift_index = (offsets[:, None] + offsets[None, :]) % self.embedding_dim
+
+    def score_batch(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> Tensor:
+        head = self.entity_embeddings(heads)
+        relation = self.relation_embeddings(relations)
+        tail = self.entity_embeddings(tails)
+        batch = head.shape[0]
+
+        shifted_tail = tail[:, self._shift_index]                 # (B, d, d)
+        correlation = (head.reshape(batch, 1, self.embedding_dim)
+                       * shifted_tail).sum(axis=2)                # (B, d)
+        return (relation * correlation).sum(axis=1)

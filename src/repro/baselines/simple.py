@@ -1,0 +1,48 @@
+"""SimplE (Kazemi & Poole, 2018): fully-expressive canonical-polyadic scoring.
+
+Every entity carries two ``d``-vectors — a head-role block and a tail-role
+block, stored as one ``[head ‖ tail]`` embedding of length ``2d`` — and every
+relation carries a forward and an inverse block.  The score averages the two
+directional canonical-polyadic products:
+
+    ½ ( <h_head, r_fwd, t_tail> + <t_head, r_inv, h_tail> )
+
+which ties the two CP decompositions together and makes the model fully
+expressive while keeping DistMult's O(d) per-triple cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.baselines.base import EmbeddingModel
+from repro.registry import register_model
+
+
+@register_model("SimplE",
+                description="averaged head/tail-role CP scoring with inverse relations")
+class SimplE(EmbeddingModel):
+    """Canonical-polyadic baseline with tied inverse-relation factors."""
+
+    name = "SimplE"
+
+    def entity_dim(self) -> int:
+        return 2 * self.embedding_dim
+
+    def relation_dim(self) -> int:
+        return 2 * self.embedding_dim
+
+    def score_batch(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> Tensor:
+        head = self.entity_embeddings(heads)
+        relation = self.relation_embeddings(relations)
+        tail = self.entity_embeddings(tails)
+
+        d = self.embedding_dim
+        head_role_h, tail_role_h = head[:, :d], head[:, d:]
+        head_role_t, tail_role_t = tail[:, :d], tail[:, d:]
+        rel_fwd, rel_inv = relation[:, :d], relation[:, d:]
+
+        forward = (head_role_h * rel_fwd * tail_role_t).sum(axis=1)
+        inverse = (head_role_t * rel_inv * tail_role_h).sum(axis=1)
+        return (forward + inverse) * 0.5

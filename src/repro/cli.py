@@ -213,7 +213,14 @@ def _command_evaluate(args: argparse.Namespace) -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    experiment = Experiment.from_json_file(args.config)
+    try:
+        experiment = Experiment.from_json_file(args.config)
+    except (KeyError, ValueError) as error:
+        # e.g. an unregistered model name: surface the registry's message as
+        # a clean CLI error instead of a traceback.
+        message = error.args[0] if error.args else str(error)
+        raise SystemExit(
+            f"invalid experiment config {args.config!r}: {message}") from error
     run = experiment.run(artifacts_dir=args.artifacts, resume=args.resume)
     _print_result(run.result)
     if run.artifacts_dir is not None:

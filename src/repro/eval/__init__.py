@@ -1,5 +1,7 @@
 """Evaluation protocol: filtered ranking, MRR/Hits@N, complexity and case study."""
 
+from repro.eval.acceptance import (ACCEPTANCE_BANDS, ZOO_PROFILE,
+                                   AcceptanceBand, ZooProfile, acceptance_band)
 from repro.eval.metrics import RankingMetrics, mean_reciprocal_rank, hits_at
 from repro.eval.ranking import rank_candidates, filtered_candidates, candidate_rng
 from repro.eval.evaluator import EvaluationResult, Evaluator, ShardWorkload
@@ -8,6 +10,11 @@ from repro.eval.case_study import embedding_heatmap, case_study
 from repro.eval.reporting import format_table, results_to_rows
 
 __all__ = [
+    "ACCEPTANCE_BANDS",
+    "ZOO_PROFILE",
+    "AcceptanceBand",
+    "ZooProfile",
+    "acceptance_band",
     "RankingMetrics",
     "mean_reciprocal_rank",
     "hits_at",

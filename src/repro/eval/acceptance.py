@@ -1,0 +1,167 @@
+"""Model-zoo acceptance bands: the per-model MRR quality gate CI enforces.
+
+Exact-value metric snapshots are brittle — any benign numeric change (a BLAS
+reassociation, a refactored reduction order, a new numpy point release)
+breaks them, so nobody keeps them, and then a *real* regression (a broken
+loss, a mis-seeded sampler, a ranking bug) sails through.  Following the
+pykeen/dicee test-matrix pattern, every registered model instead declares an
+MRR acceptance **window** ``lo <= MRR <= hi`` on one fixed, seeded training
+protocol (the :data:`ZOO_PROFILE`).  The windows are asserted two ways:
+
+* ``tests/test_model_zoo.py`` — the tier-1 gate: every registered model must
+  train on the profile and land inside its declared band, survive a
+  checkpoint round-trip with bit-identical scores, and produce identical
+  metrics under sequential and sharded evaluation.
+* ``benchmarks/bench_model_zoo.py`` — the tracked record: the same sweep,
+  appended to ``BENCH_model_zoo.json`` with the enforced bands alongside the
+  measured metrics, uploaded as a CI artifact.
+
+Band policy
+-----------
+Bands are the measured MRR on the profile ± 0.05, rounded outward to two
+decimals — wide enough to absorb cross-platform float jitter (a flipped
+near-tie rank moves MRR by well under 0.01 at the profile's test-set size),
+tight enough that a model scoring at chance level (~0.17 with the profile's
+20-candidate pool) or losing its training signal falls out of band.  To
+re-baseline after an intentional change, run
+``python benchmarks/bench_model_zoo.py``: it prints a suggested-band table
+computed with :func:`suggest_band` to copy into :data:`ACCEPTANCE_BANDS`.
+
+A model registered without a band **fails CI** (see
+``test_every_registered_model_has_a_band``): growing the zoo means declaring
+the new model's expected quality, not just its code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+from repro.datasets.benchmark import BenchmarkDataset, build_benchmark
+from repro.eval.evaluator import EvaluationResult, Evaluator
+from repro.experiment import train_model
+from repro.kg.triple import Triple
+
+
+@dataclass(frozen=True)
+class AcceptanceBand:
+    """One model's declared MRR window on the zoo profile."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.lo <= self.hi <= 1.0:
+            raise ValueError(f"band must satisfy 0 <= lo <= hi <= 1, got {self}")
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def as_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ZooProfile:
+    """The fixed, fully-seeded protocol every band is declared against.
+
+    Changing *any* field invalidates every band in
+    :data:`ACCEPTANCE_BANDS` — treat the profile and the band table as one
+    unit and re-baseline together (see the module docstring).
+    """
+
+    dataset: str = "fb15k-237"
+    split: str = "EQ"
+    scale: float = 0.3
+    dataset_seed: int = 1
+    epochs: int = 4
+    embedding_dim: int = 16
+    model_seed: int = 0
+    eval_seed: int = 0
+    max_candidates: int = 20
+    max_test_triples: int = 40
+
+
+#: The one profile the band table below is calibrated against.
+ZOO_PROFILE = ZooProfile()
+
+#: Declared MRR windows per registered model, measured on :data:`ZOO_PROFILE`
+#: (numpy backend) and widened per the band policy above.
+ACCEPTANCE_BANDS: Dict[str, AcceptanceBand] = {
+    "DEKG-ILP": AcceptanceBand(0.47, 0.57),
+    "DEKG-ILP-R": AcceptanceBand(0.36, 0.46),
+    "DEKG-ILP-C": AcceptanceBand(0.45, 0.56),
+    "DEKG-ILP-N": AcceptanceBand(0.51, 0.62),
+    "TransE": AcceptanceBand(0.26, 0.37),
+    "RotatE": AcceptanceBand(0.15, 0.26),
+    "DistMult": AcceptanceBand(0.07, 0.18),
+    "ConvE": AcceptanceBand(0.16, 0.27),
+    "ComplEx": AcceptanceBand(0.09, 0.20),
+    "HolE": AcceptanceBand(0.10, 0.21),
+    "ProjE": AcceptanceBand(0.14, 0.25),
+    "SimplE": AcceptanceBand(0.10, 0.21),
+    "GEN": AcceptanceBand(0.23, 0.34),
+    "RuleN": AcceptanceBand(0.26, 0.37),
+    "Grail": AcceptanceBand(0.37, 0.48),
+    "TACT": AcceptanceBand(0.36, 0.47),
+}
+
+
+def acceptance_band(name: str) -> AcceptanceBand:
+    """The declared band for ``name`` (KeyError explains how to add one)."""
+    try:
+        return ACCEPTANCE_BANDS[name]
+    except KeyError:
+        raise KeyError(
+            f"model {name!r} has no acceptance band; every registered model "
+            "must declare one in repro.eval.acceptance.ACCEPTANCE_BANDS — "
+            "run benchmarks/bench_model_zoo.py for a suggested window"
+        ) from None
+
+
+def suggest_band(mrr: float, margin: float = 0.05) -> AcceptanceBand:
+    """The band the policy would declare around a measured MRR."""
+    # Round outward so the measured value never sits on the band edge.
+    lo = max(0.0, float(int((mrr - margin) * 100)) / 100)
+    hi = min(1.0, float(int((mrr + margin) * 100) + 1) / 100)
+    return AcceptanceBand(lo, hi)
+
+
+# --------------------------------------------------------------------- #
+# the shared train/evaluate protocol
+# --------------------------------------------------------------------- #
+def build_zoo_dataset(profile: ZooProfile = ZOO_PROFILE) -> BenchmarkDataset:
+    """The profile's benchmark split (deterministic for a given profile)."""
+    return build_benchmark(profile.dataset, profile.split,
+                           seed=profile.dataset_seed, scale=profile.scale)
+
+
+def zoo_test_triples(dataset: BenchmarkDataset,
+                     profile: ZooProfile = ZOO_PROFILE) -> List[Triple]:
+    """The capped test-triple list every zoo evaluation ranks."""
+    return list(dataset.test_triples[:profile.max_test_triples])
+
+
+def train_zoo_model(name: str, dataset: BenchmarkDataset,
+                    profile: ZooProfile = ZOO_PROFILE):
+    """Train registered model ``name`` under the profile's settings."""
+    return train_model(name, dataset, epochs=profile.epochs,
+                       embedding_dim=profile.embedding_dim,
+                       seed=profile.model_seed)
+
+
+def zoo_evaluator(dataset: BenchmarkDataset,
+                  profile: ZooProfile = ZOO_PROFILE, workers: int = 1) -> Evaluator:
+    """The profile's evaluator (counter-seeded candidate draws)."""
+    return Evaluator(dataset, max_candidates=profile.max_candidates,
+                     seed=profile.eval_seed, workers=workers)
+
+
+def evaluate_zoo_model(model, name: str, dataset: BenchmarkDataset,
+                       profile: ZooProfile = ZOO_PROFILE,
+                       workers: int = 1,
+                       test_triples: Optional[List[Triple]] = None) -> EvaluationResult:
+    """Evaluate ``model`` exactly the way its band was calibrated."""
+    triples = test_triples if test_triples is not None else zoo_test_triples(dataset, profile)
+    return zoo_evaluator(dataset, profile, workers=workers).evaluate(
+        model, test_triples=triples, model_name=name, workers=workers)

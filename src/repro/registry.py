@@ -1,7 +1,8 @@
 """The unified model registry.
 
 Every model the paper's experimental matrix touches — DEKG-ILP, its three
-§V-G ablation variants, and the eight baselines of Table III — registers one
+§V-G ablation variants, the eight baselines of Table III, plus the model-zoo
+embedding baselines (ComplEx, HolE, ProjE, SimplE) — registers one
 :class:`ModelSpec` here.  A spec bundles the factory that builds an untrained
 instance, the configuration class the factory understands (when it has one),
 and the capability flags the rest of the system branches on:
@@ -132,7 +133,7 @@ def register_model(name: str, *, config_class: Optional[type] = None,
 def _ensure_builtin() -> None:
     """Import the modules whose import side effect registers the built-ins."""
     import repro.core.model  # noqa: F401  (DEKG-ILP + the three ablations)
-    import repro.baselines   # noqa: F401  (the eight Table III baselines)
+    import repro.baselines   # noqa: F401  (Table III + model-zoo baselines)
 
 
 def registered_models() -> Dict[str, ModelSpec]:

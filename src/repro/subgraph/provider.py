@@ -10,13 +10,15 @@ workers).  It contributes two things on top of
   Per-source visited state lives in stacked boolean masks borrowed from the
   snapshot's :class:`~repro.kg.graph.TraversalScratch` pool, every hop of
   every traversal in the batch advances in a handful of numpy operations,
-  and the induced edges of all subgraphs are collected in one vectorized
-  pass.  The result is **bit-identical** to running the per-pair extractor
-  on each target (same node sets, same induced edges, same labels): the
-  per-pair and batched paths share the candidate-set / labeling / size-cap
-  assembly code, and the traversals replicate the per-pair visit order
-  exactly (including set insertion order, which the ``max_nodes`` cap's
-  stable degree sort ties break on).
+  and candidate sets, double-radius labels, one-hot features
+  (:func:`_assemble_labels_batch`) and the induced edges of all subgraphs
+  are likewise assembled in vectorized passes over flat
+  ``pair * num_nodes + node`` keys.  The result is **bit-identical** to
+  running the per-pair extractor on each target (same node sets, same
+  induced edges, same labels): candidates emerge in the per-pair path's
+  sorted-node order, and any pair the ``max_nodes`` cap touches falls back
+  to the original set/dict assembly (:func:`_assemble_pair_labels`), whose
+  insertion order the cap's stable degree sort ties break on.
 
 * :class:`SubgraphProvider` — extraction caching behind pluggable
   **cache policies** (plain LRU, an adaptively-sized LRU that grows when
@@ -43,7 +45,8 @@ from repro.kg.triple import Triple
 from repro.subgraph.extraction import (ExtractedSubgraph, _cap_labels,
                                        _region_candidates,
                                        extract_enclosing_subgraph)
-from repro.subgraph.labeling import label_nodes, node_label_features
+from repro.subgraph.labeling import (UNREACHABLE, label_nodes,
+                                     node_label_features)
 
 #: Cache key of one relation-agnostic extraction: the (head, tail) pair.
 PairKey = Tuple[int, int]
@@ -155,6 +158,200 @@ def _distance_dict(source: int, source_levels: List[np.ndarray]) -> Dict[int, in
 
 
 # --------------------------------------------------------------------- #
+# label assembly
+# --------------------------------------------------------------------- #
+def _assemble_pair_labels(graph: KnowledgeGraph, head: int, tail: int,
+                          head_region_levels: List[np.ndarray],
+                          tail_region_levels: List[np.ndarray],
+                          head_distance_levels: List[np.ndarray],
+                          tail_distance_levels: List[np.ndarray],
+                          hops: int, improved_labeling: bool, max_nodes: int
+                          ) -> Tuple[Dict[int, Tuple[int, int]], List[int],
+                                     np.ndarray, Dict[int, int]]:
+    """One pair's label assembly through the original dict/set machinery.
+
+    Kept as the reference path: :func:`_assemble_labels_batch` falls back to
+    it whenever the ``max_nodes`` cap triggers (the cap's stable degree sort
+    breaks ties on Python *set iteration order*, which has no array
+    equivalent), and the equivalence tests pit the two implementations
+    against each other.
+    """
+    head_region = _region_set(head, head_region_levels)
+    tail_region = _region_set(tail, tail_region_levels)
+    candidate_nodes = _region_candidates(head_region, tail_region,
+                                         head, tail, improved_labeling)
+    distances_to_head = _distance_dict(head, head_distance_levels)
+    distances_to_tail = _distance_dict(tail, tail_distance_levels)
+    labels = label_nodes(distances_to_head, distances_to_tail,
+                         candidate_nodes, head, tail, hops,
+                         improved=improved_labeling)
+    labels = _cap_labels(graph, labels, head, tail, max_nodes)
+    features, node_index = node_label_features(labels, hops)
+    return labels, sorted(labels), features, node_index
+
+
+def _assemble_all_pairs_legacy(graph: KnowledgeGraph, heads: np.ndarray,
+                               tails: np.ndarray, region_levels, distance_levels,
+                               hops: int, improved_labeling: bool, max_nodes: int):
+    """Per-pair assembly of the whole batch (degenerate-input fallback)."""
+    num_targets = int(heads.shape[0])
+    region = _per_source_levels(region_levels, 2 * num_targets)
+    distance = _per_source_levels(distance_levels, 2 * num_targets)
+    assembled = [
+        _assemble_pair_labels(graph, int(heads[pair]), int(tails[pair]),
+                              region[2 * pair], region[2 * pair + 1],
+                              distance[2 * pair], distance[2 * pair + 1],
+                              hops, improved_labeling, max_nodes)
+        for pair in range(num_targets)
+    ]
+    return tuple(list(column) for column in zip(*assembled))
+
+
+def _assemble_labels_batch(graph: KnowledgeGraph, heads: np.ndarray,
+                           tails: np.ndarray,
+                           region_levels: List[Tuple[np.ndarray, np.ndarray]],
+                           distance_levels: List[Tuple[np.ndarray, np.ndarray]],
+                           hops: int, improved_labeling: bool, max_nodes: int
+                           ) -> Tuple[List[Dict[int, Tuple[int, int]]],
+                                      List[List[int]], List[np.ndarray],
+                                      List[Dict[int, int]]]:
+    """Vectorized candidate/label/feature assembly for the whole batch.
+
+    Replaces the per-pair ``_region_set`` / ``_distance_dict`` /
+    ``label_nodes`` dict machinery with flat ``pair * num_nodes + node`` key
+    arrays: candidate sets come out of one ``np.unique`` over the stacked
+    region levels (improved labeling) or one ``np.intersect1d`` of the
+    per-endpoint key sets (GraIL), BFS distances are two gathers from a
+    borrowed scratch matrix whose ``-1`` fill doubles as the ``UNREACHABLE``
+    sentinel, and the one-hot features of every pair are scattered in one
+    pass.  Candidates emerge sorted by (pair, node) — exactly the
+    ``sorted(labels)`` node order of the per-pair path — so nodes, indices,
+    features, labels, and downstream induced edges are all bit-identical.
+
+    A pair whose label count exceeds ``max_nodes`` falls back to
+    :func:`_assemble_pair_labels`: only the original set-based assembly
+    reproduces the insertion order that the cap's stable degree sort breaks
+    ties on.
+    """
+    adjacency = graph.adjacency()
+    num_targets = int(heads.shape[0])
+    num_nodes = adjacency.num_nodes
+    endpoints_ok = ((heads >= 0) & (heads < num_nodes)
+                    & (tails >= 0) & (tails < num_nodes))
+    if num_nodes == 0 or not bool(endpoints_ok.all()):
+        # Out-of-range endpoints poison the flat pair*num_nodes+node keys;
+        # such degenerate batches take the reference path wholesale.
+        return _assemble_all_pairs_legacy(graph, heads, tails, region_levels,
+                                          distance_levels, hops,
+                                          improved_labeling, max_nodes)
+
+    pair_ids = np.arange(num_targets, dtype=np.int64)
+    head_endpoint_keys = pair_ids * num_nodes + heads
+    tail_endpoint_keys = pair_ids * num_nodes + tails
+    level_keys = [(rows // 2) * num_nodes + nodes for rows, nodes in region_levels]
+    if improved_labeling:
+        candidate_keys = np.unique(np.concatenate(
+            level_keys + [head_endpoint_keys, tail_endpoint_keys]))
+    else:
+        # GraIL keeps the region intersection plus the endpoints.  The
+        # traversal rows interleave [h0, t0, h1, t1, ...]: even rows belong
+        # to head regions, odd rows to tail regions.
+        head_keys = [keys[(rows % 2) == 0] for keys, (rows, _) in
+                     zip(level_keys, region_levels)]
+        tail_keys = [keys[(rows % 2) == 1] for keys, (rows, _) in
+                     zip(level_keys, region_levels)]
+        shared = np.intersect1d(
+            np.unique(np.concatenate(head_keys + [head_endpoint_keys])),
+            np.unique(np.concatenate(tail_keys + [tail_endpoint_keys])),
+            assume_unique=True)
+        candidate_keys = np.union1d(
+            shared, np.concatenate([head_endpoint_keys, tail_endpoint_keys]))
+    cand_pairs = candidate_keys // num_nodes
+    cand_nodes = candidate_keys - cand_pairs * num_nodes
+
+    # Distances of every candidate to its pair's endpoints, via one scratch
+    # matrix holding all 2B blocked traversals (row stride = num_nodes).
+    scratch = adjacency.scratch()
+    matrix = scratch.borrow_index_matrix(2 * num_targets)
+    matrix_flat = matrix.reshape(-1)
+    touched: List[np.ndarray] = []
+    try:
+        source_rows = np.arange(2 * num_targets, dtype=np.int64)
+        source_nodes = np.empty(2 * num_targets, dtype=np.int64)
+        source_nodes[0::2] = heads
+        source_nodes[1::2] = tails
+        source_flat = source_rows * num_nodes + source_nodes
+        matrix_flat[source_flat] = 0
+        touched.append(source_flat)
+        for distance, (rows, nodes) in enumerate(distance_levels, start=1):
+            level_flat = rows * num_nodes + nodes
+            matrix_flat[level_flat] = distance
+            touched.append(level_flat)
+        distance_to_head = matrix_flat[(2 * cand_pairs) * num_nodes + cand_nodes]
+        distance_to_tail = matrix_flat[(2 * cand_pairs + 1) * num_nodes + cand_nodes]
+    finally:
+        scratch.release_index_matrix(matrix, touched)
+
+    # label_nodes order: the tail rule fires first, then the head rule
+    # overwrites, so a head == tail self-loop ends up labeled (0, 1).
+    is_head = cand_nodes == heads[cand_pairs]
+    is_tail = cand_nodes == tails[cand_pairs]
+    label_head = distance_to_head.copy()
+    label_tail = distance_to_tail.copy()
+    label_head[is_tail] = 1
+    label_tail[is_tail] = 0
+    label_head[is_head] = 0
+    label_tail[is_head] = 1
+    if not improved_labeling:
+        keep = (((distance_to_head != UNREACHABLE)
+                 & (distance_to_tail != UNREACHABLE))
+                | is_head | is_tail)
+        cand_pairs, cand_nodes = cand_pairs[keep], cand_nodes[keep]
+        label_head, label_tail = label_head[keep], label_tail[keep]
+
+    # One-hot double-radius features of the whole batch in one scatter.
+    dim = hops + 1
+    total = int(cand_nodes.shape[0])
+    feature_rows = np.arange(total, dtype=np.int64)
+    features_all = np.zeros((total, 2 * dim), dtype=np.float64)
+    head_hot = label_head != UNREACHABLE
+    features_all[feature_rows[head_hot],
+                 np.minimum(label_head[head_hot], dim - 1)] = 1.0
+    tail_hot = label_tail != UNREACHABLE
+    features_all[feature_rows[tail_hot],
+                 dim + np.minimum(label_tail[tail_hot], dim - 1)] = 1.0
+
+    bounds = np.searchsorted(cand_pairs, np.arange(num_targets + 1, dtype=np.int64))
+    labels_list: List[Dict[int, Tuple[int, int]]] = []
+    nodes_lists: List[List[int]] = []
+    features_list: List[np.ndarray] = []
+    index_list: List[Dict[int, int]] = []
+    fallback_region = fallback_distance = None
+    for pair in range(num_targets):
+        lo, hi = int(bounds[pair]), int(bounds[pair + 1])
+        if hi - lo > max_nodes:
+            if fallback_region is None:
+                fallback_region = _per_source_levels(region_levels, 2 * num_targets)
+                fallback_distance = _per_source_levels(distance_levels, 2 * num_targets)
+            labels, nodes, features, node_index = _assemble_pair_labels(
+                graph, int(heads[pair]), int(tails[pair]),
+                fallback_region[2 * pair], fallback_region[2 * pair + 1],
+                fallback_distance[2 * pair], fallback_distance[2 * pair + 1],
+                hops, improved_labeling, max_nodes)
+        else:
+            nodes = cand_nodes[lo:hi].tolist()
+            labels = dict(zip(nodes, zip(label_head[lo:hi].tolist(),
+                                         label_tail[lo:hi].tolist())))
+            features = features_all[lo:hi]
+            node_index = {node: position for position, node in enumerate(nodes)}
+        labels_list.append(labels)
+        nodes_lists.append(nodes)
+        features_list.append(features)
+        index_list.append(node_index)
+    return labels_list, nodes_lists, features_list, index_list
+
+
+# --------------------------------------------------------------------- #
 # batched induced-edge collection
 # --------------------------------------------------------------------- #
 def _collect_induced_edges_batch(graph: KnowledgeGraph,
@@ -230,7 +427,9 @@ def extract_batch(graph: KnowledgeGraph, targets: Sequence[Triple],
     targets]``, and bit-identical to it (nodes, induced edges, labels,
     features) — but the four BFS traversals every pair needs (two k-hop
     regions, two double-radius distance maps) run as two stacked
-    multi-source sweeps over the whole batch, and the induced edges of all
+    multi-source sweeps over the whole batch, candidate sets / labels /
+    one-hot features are assembled in vectorized passes over flat
+    ``pair * num_nodes + node`` keys, and the induced edges of all
     subgraphs are gathered in one vectorized CSR pass, so the Python/numpy
     per-call overhead is paid once per batch instead of once per pair.
     """
@@ -249,32 +448,11 @@ def extract_batch(graph: KnowledgeGraph, targets: Sequence[Triple],
     partners[0::2] = tails
     partners[1::2] = heads
 
-    region_levels = _per_source_levels(
-        _stacked_bfs(adjacency, sources, hops), 2 * num_targets)
-    distance_levels = _per_source_levels(
-        _stacked_bfs(adjacency, sources, hops, blocked=partners), 2 * num_targets)
-
-    labels_list: List[Dict[int, Tuple[int, int]]] = []
-    nodes_lists: List[List[int]] = []
-    features_list: List[np.ndarray] = []
-    index_list: List[Dict[int, int]] = []
-    for index, target in enumerate(targets):
-        head, tail = int(heads[index]), int(tails[index])
-        head_region = _region_set(head, region_levels[2 * index])
-        tail_region = _region_set(tail, region_levels[2 * index + 1])
-        candidate_nodes = _region_candidates(head_region, tail_region,
-                                             head, tail, improved_labeling)
-        distances_to_head = _distance_dict(head, distance_levels[2 * index])
-        distances_to_tail = _distance_dict(tail, distance_levels[2 * index + 1])
-        labels = label_nodes(distances_to_head, distances_to_tail,
-                             candidate_nodes, head, tail, hops,
-                             improved=improved_labeling)
-        labels = _cap_labels(graph, labels, head, tail, max_nodes)
-        features, node_index = node_label_features(labels, hops)
-        labels_list.append(labels)
-        nodes_lists.append(sorted(labels))
-        features_list.append(features)
-        index_list.append(node_index)
+    region_levels = _stacked_bfs(adjacency, sources, hops)
+    distance_levels = _stacked_bfs(adjacency, sources, hops, blocked=partners)
+    labels_list, nodes_lists, features_list, index_list = _assemble_labels_batch(
+        graph, heads, tails, region_levels, distance_levels,
+        hops, improved_labeling, max_nodes)
 
     edges_list = _collect_induced_edges_batch(
         graph, nodes_lists, targets if omit_target_edge else None)

@@ -6,12 +6,16 @@ import numpy as np
 import pytest
 
 from repro.baselines import (
+    ComplEx,
     ConvE,
     DistMult,
     GEN,
     Grail,
+    HolE,
+    ProjE,
     RotatE,
     RuleN,
+    SimplE,
     TACT,
     TransE,
     baseline_registry,
@@ -19,7 +23,8 @@ from repro.baselines import (
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
 
-EMBEDDING_CLASSES = [TransE, RotatE, DistMult, ConvE]
+EMBEDDING_CLASSES = [TransE, RotatE, DistMult, ConvE,
+                     ComplEx, HolE, ProjE, SimplE]
 
 
 @pytest.fixture
@@ -33,8 +38,9 @@ class TestRegistry:
     def test_all_paper_baselines_present(self):
         with pytest.warns(DeprecationWarning):
             registry = baseline_registry()
-        assert set(registry) == {"TransE", "RotatE", "DistMult", "ConvE", "GEN",
-                                 "RuleN", "Grail", "TACT"}
+        assert set(registry) == {"TransE", "RotatE", "DistMult", "ConvE",
+                                 "ComplEx", "HolE", "ProjE", "SimplE",
+                                 "GEN", "RuleN", "Grail", "TACT"}
 
     def test_registry_values_are_classes(self):
         with pytest.warns(DeprecationWarning):
@@ -124,6 +130,89 @@ class TestRotatEGeometry:
     def test_entity_dim_is_doubled(self):
         model = RotatE(2, 1, embedding_dim=6)
         assert model.entity_embeddings.weight.data.shape == (2, 12)
+
+
+class TestComplExGeometry:
+    def test_score_matches_hermitian_product(self):
+        model = ComplEx(3, 2, embedding_dim=3, seed=0)
+        d = model.embedding_dim
+        entities = model.entity_embeddings.weight.data
+        relations = model.relation_embeddings.weight.data
+        h, r, t = entities[0], relations[1], entities[2]
+        expected = np.sum(h[:d] * r[:d] * t[:d]
+                          + h[d:] * r[:d] * t[d:]
+                          + h[:d] * r[d:] * t[d:]
+                          - h[d:] * r[d:] * t[:d])
+        assert model.score(Triple(0, 1, 2)) == pytest.approx(expected)
+
+    def test_real_embeddings_reduce_to_distmult(self):
+        # With all imaginary blocks zeroed, the Hermitian product collapses
+        # to DistMult's symmetric trilinear form.
+        model = ComplEx(3, 1, embedding_dim=4, seed=0)
+        d = model.embedding_dim
+        model.entity_embeddings.weight.data[:, d:] = 0.0
+        model.relation_embeddings.weight.data[:, d:] = 0.0
+        assert model.score(Triple(0, 0, 1)) == pytest.approx(
+            model.score(Triple(1, 0, 0)))
+
+    def test_entity_dim_is_doubled(self):
+        model = ComplEx(2, 1, embedding_dim=6)
+        assert model.entity_embeddings.weight.data.shape == (2, 12)
+
+
+class TestHolEGeometry:
+    def test_score_matches_explicit_circular_correlation(self):
+        model = HolE(3, 2, embedding_dim=5, seed=0)
+        h = model.entity_embeddings.weight.data[0]
+        r = model.relation_embeddings.weight.data[1]
+        t = model.entity_embeddings.weight.data[2]
+        correlation = np.array([
+            sum(h[i] * t[(k + i) % 5] for i in range(5)) for k in range(5)
+        ])
+        assert model.score(Triple(0, 1, 2)) == pytest.approx(r @ correlation)
+
+    def test_correlation_is_asymmetric(self):
+        model = HolE(3, 1, embedding_dim=4, seed=0)
+        assert model.score(Triple(0, 0, 1)) != pytest.approx(
+            model.score(Triple(1, 0, 0)), abs=1e-9)
+
+
+class TestProjEGeometry:
+    def test_score_matches_projection_formula(self):
+        model = ProjE(3, 2, embedding_dim=4, seed=0)
+        h = model.entity_embeddings.weight.data[0]
+        r = model.relation_embeddings.weight.data[1]
+        t = model.entity_embeddings.weight.data[2]
+        combined = np.tanh(h * model.entity_scale.data
+                           + r * model.relation_scale.data
+                           + model.combination_bias.data)
+        assert model.score(Triple(0, 1, 2)) == pytest.approx(combined @ t)
+
+    def test_projection_vectors_are_learned(self, train_graph):
+        model = ProjE(train_graph.num_entities, train_graph.num_relations,
+                      embedding_dim=8, seed=0)
+        before = model.entity_scale.data.copy()
+        assert model.num_parameters() > 2 * model.entity_embeddings.weight.data.size // 2
+        model.fit(train_graph, epochs=1)
+        assert not np.allclose(before, model.entity_scale.data)
+
+
+class TestSimplEGeometry:
+    def test_score_averages_forward_and_inverse_products(self):
+        model = SimplE(3, 2, embedding_dim=3, seed=0)
+        d = model.embedding_dim
+        h = model.entity_embeddings.weight.data[0]
+        r = model.relation_embeddings.weight.data[1]
+        t = model.entity_embeddings.weight.data[2]
+        forward = np.sum(h[:d] * r[:d] * t[d:])
+        inverse = np.sum(t[:d] * r[d:] * h[d:])
+        assert model.score(Triple(0, 1, 2)) == pytest.approx(
+            0.5 * (forward + inverse))
+
+    def test_entity_and_relation_dims_are_doubled(self):
+        model = SimplE(2, 1, embedding_dim=6)
+        assert model.entity_embeddings.weight.data.shape == (2, 12)
+        assert model.relation_embeddings.weight.data.shape == (1, 12)
 
 
 class TestConvE:

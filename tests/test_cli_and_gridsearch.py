@@ -63,6 +63,55 @@ class TestCLIModelsCommand:
         assert str(default_parameter_count("TransE", 50, 5)) in output
 
 
+class TestCLIModelZoo:
+    """The zoo additions must surface through the CLI like every baseline."""
+
+    def test_models_lists_zoo_entries_with_parameter_counts(self, capsys):
+        from repro.registry import default_parameter_count
+
+        assert main(["models"]) == 0
+        output = capsys.readouterr().out
+        for name in ("ComplEx", "HolE", "ProjE", "SimplE"):
+            assert name in output
+            assert str(default_parameter_count(name)) in output
+
+
+class TestCLIErrorPaths:
+    def test_run_with_unregistered_model_in_config(self, tmp_path):
+        import json
+
+        config = {
+            "dataset": {"name": "fb15k-237", "split": "EQ",
+                        "scale": 0.2, "seed": 1},
+            "model": {"name": "NotAModel", "embedding_dim": 8},
+            "training": {"epochs": 1, "seed": 0},
+            "eval": {"max_candidates": 5, "seed": 0},
+        }
+        path = tmp_path / "exp.json"
+        path.write_text(json.dumps(config))
+        with pytest.raises(SystemExit, match="unknown model 'NotAModel'"):
+            main(["run", "--config", str(path)])
+
+    def test_run_with_unreadable_config_path(self, tmp_path):
+        with pytest.raises((SystemExit, OSError)):
+            main(["run", "--config", str(tmp_path / "missing.json")])
+
+    def test_cache_policy_rejected_on_cacheless_embedding_baseline(self):
+        # ComplEx scores triples directly from embeddings; it owns no
+        # subgraph-extraction cache, so the flag must fail fast rather than
+        # be silently ignored.
+        with pytest.raises(SystemExit, match="no subgraph-extraction cache"):
+            main(["evaluate", "--model", "ComplEx", "--scale", "0.25",
+                  "--epochs", "1", "--embedding-dim", "8",
+                  "--cache-policy", "lru"])
+
+    def test_cache_size_rejected_on_cacheless_baseline(self):
+        with pytest.raises(SystemExit, match="--cache-size does not apply"):
+            main(["evaluate", "--model", "HolE", "--scale", "0.25",
+                  "--epochs", "1", "--embedding-dim", "8",
+                  "--cache-size", "64"])
+
+
 class TestCLICommands:
     def test_complexity_command(self, capsys):
         exit_code = main(["complexity", "--entities", "100", "--relations", "10"])

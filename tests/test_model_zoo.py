@@ -1,0 +1,128 @@
+"""Model-zoo quality gate: every registered model vs its acceptance band.
+
+Three invariants, asserted for **every** name the registry knows (the
+parametrization iterates :func:`repro.registry.model_names`, so a newly
+registered model is gated automatically):
+
+* trained on the fixed :data:`repro.eval.acceptance.ZOO_PROFILE`, its MRR
+  lands inside the band declared in ``ACCEPTANCE_BANDS`` — wide enough for
+  float jitter, tight enough to catch a broken loss or mis-seeded sampler;
+* a checkpoint round-trip reproduces its scores bit-identically;
+* sequential and sharded evaluation yield identical metric summaries.
+
+Each model is trained exactly once per session (module-level cache) and the
+three tests share that instance.  Re-baselining bands is documented in
+``docs/BENCHMARKS.md``; ``benchmarks/bench_model_zoo.py`` prints a
+suggested-band table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.acceptance import (ACCEPTANCE_BANDS, ZOO_PROFILE,
+                                   acceptance_band, build_zoo_dataset,
+                                   evaluate_zoo_model, suggest_band,
+                                   train_zoo_model, zoo_test_triples)
+from repro.core.persistence import load_model, save_model
+from repro.registry import model_names, registered_models
+
+_MODEL_CACHE = {}
+
+
+@pytest.fixture(scope="module")
+def zoo_dataset():
+    return build_zoo_dataset()
+
+
+@pytest.fixture
+def zoo_model(request, zoo_dataset):
+    """The requested model, trained once on the profile and cached."""
+    name = request.param
+    if name not in _MODEL_CACHE:
+        _MODEL_CACHE[name] = train_zoo_model(name, zoo_dataset)
+    return name, _MODEL_CACHE[name]
+
+
+def _each_model(test):
+    return pytest.mark.parametrize(
+        "zoo_model", model_names(), indirect=True, ids=model_names())(test)
+
+
+class TestBandTable:
+    def test_every_registered_model_has_a_band(self):
+        missing = sorted(set(model_names()) - set(ACCEPTANCE_BANDS))
+        assert not missing, (
+            f"registered models without an acceptance band: {missing}; "
+            "declare one in repro.eval.acceptance.ACCEPTANCE_BANDS (run "
+            "benchmarks/bench_model_zoo.py with REPRO_BENCH_ZOO_GATE=off "
+            "for suggested windows)")
+
+    def test_no_stale_bands_for_unregistered_models(self):
+        stale = sorted(set(ACCEPTANCE_BANDS) - set(model_names()))
+        assert not stale, f"bands declared for unregistered models: {stale}"
+
+    def test_bands_are_valid_windows(self):
+        for name, band in ACCEPTANCE_BANDS.items():
+            assert 0.0 <= band.lo <= band.hi <= 1.0, (name, band)
+            assert band.as_dict() == {"lo": band.lo, "hi": band.hi}
+
+    def test_suggest_band_brackets_the_measurement(self):
+        for mrr in (0.0, 0.17, 0.5212, 0.96, 1.0):
+            band = suggest_band(mrr)
+            assert band.contains(mrr)
+            assert band.hi - band.lo <= 0.12  # 2*margin + outward rounding
+
+    def test_unknown_model_band_lookup_explains_the_fix(self):
+        with pytest.raises(KeyError, match="ACCEPTANCE_BANDS"):
+            acceptance_band("NotARealModel")
+
+
+class TestAcceptanceBands:
+    @_each_model
+    def test_mrr_lands_in_declared_band(self, zoo_model, zoo_dataset):
+        name, model = zoo_model
+        result = evaluate_zoo_model(model, name, zoo_dataset)
+        mrr = result.overall.mrr
+        band = acceptance_band(name)
+        assert band.contains(mrr), (
+            f"{name}: MRR {mrr:.4f} outside declared band "
+            f"[{band.lo}, {band.hi}] on the zoo profile {ZOO_PROFILE}; "
+            f"policy would now suggest {suggest_band(mrr)} — re-baseline "
+            "per docs/BENCHMARKS.md if the change is intentional")
+
+
+class TestCheckpointParity:
+    @_each_model
+    def test_round_trip_scores_bit_identical(self, zoo_model, zoo_dataset, tmp_path):
+        name, model = zoo_model
+        assert registered_models()[name].checkpointable
+        if hasattr(model, "eval"):
+            model.eval()
+        restored = load_model(save_model(model, tmp_path / "zoo.npz"))
+        assert restored.name == name
+        context = zoo_dataset.split.evaluation_graph()
+        model.set_context(context)
+        restored.set_context(context)
+        probe = zoo_test_triples(zoo_dataset)[:10]
+        np.testing.assert_array_equal(model.score_many(probe),
+                                      restored.score_many(probe))
+
+
+class TestShardedEvalParity:
+    @_each_model
+    def test_sequential_and_sharded_metrics_identical(self, zoo_model, zoo_dataset):
+        name, model = zoo_model
+        assert registered_models()[name].supports_sharded_eval
+        if hasattr(model, "eval"):
+            model.eval()
+        # A 12-triple slice keeps the matrix fast while still spanning both
+        # shards; candidate draws are counter-seeded per triple, so the
+        # slice evaluates identically inside either protocol run.
+        triples = zoo_test_triples(zoo_dataset)[:12]
+        sequential = evaluate_zoo_model(model, name, zoo_dataset,
+                                        workers=1, test_triples=triples)
+        sharded = evaluate_zoo_model(model, name, zoo_dataset,
+                                     workers=2, test_triples=triples)
+        assert sequential.overall.summary() == sharded.overall.summary()
+        assert sequential.enclosing.summary() == sharded.enclosing.summary()
+        assert sequential.bridging.summary() == sharded.bridging.summary()

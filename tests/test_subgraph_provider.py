@@ -24,8 +24,11 @@ from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
 from repro.subgraph.extraction import extract_enclosing_subgraph
 from repro.subgraph.provider import (AdaptiveLRUPolicy, CorruptionAwarePolicy,
-                                     LRUPolicy, SubgraphProvider, extract_batch,
-                                     make_cache_policy, masked_edges)
+                                     LRUPolicy, SubgraphProvider,
+                                     _assemble_all_pairs_legacy,
+                                     _assemble_labels_batch, _stacked_bfs,
+                                     extract_batch, make_cache_policy,
+                                     masked_edges)
 
 
 def _random_graph(num_entities: int, num_relations: int, num_triples: int,
@@ -122,6 +125,26 @@ class TestExtractBatchEquivalence:
             expected = extract_enclosing_subgraph(graph, target, hops=0)
             _assert_subgraphs_identical(subgraph, expected)
 
+    def test_cap_overflow_matches_per_pair_extractor(self):
+        # A hub star forces len(labels) > max_nodes, exercising the batched
+        # path's fallback onto the reference set/dict assembly (the cap's
+        # stable degree sort ties break on set iteration order).
+        triples = [Triple(0, 0, n) for n in range(1, 30)]
+        triples += [Triple(n, 1, 30) for n in range(1, 30)]
+        graph = KnowledgeGraph(31, 2, triples)
+        targets = [Triple(0, 0, 30), Triple(0, 1, 1), Triple(5, 0, 6)]
+        for improved in (True, False):
+            batched = extract_batch(graph, targets, hops=2,
+                                    improved_labeling=improved, max_nodes=8)
+            assert all(s.num_nodes <= 8 for s in batched)
+            assert any(s.num_nodes == 8 for s in batched)  # cap really fired
+            for target, subgraph in zip(targets, batched):
+                expected = extract_enclosing_subgraph(
+                    graph, target, hops=2, improved_labeling=improved,
+                    max_nodes=8)
+                _assert_subgraphs_identical(subgraph, expected,
+                                            context=f"target={target}")
+
     def test_scratch_matrices_are_reusable(self):
         # Two consecutive batched extractions must see clean scratch state
         # (the release path resets only the touched region).
@@ -132,6 +155,70 @@ class TestExtractBatchEquivalence:
         second = extract_batch(graph, targets, hops=2)
         for left, right in zip(first, second):
             _assert_subgraphs_identical(left, right)
+
+
+class TestVectorizedLabelAssembly:
+    """The flat-key assembly must equal the legacy set/dict path bit-for-bit."""
+
+    def _assemble_both(self, graph, targets, hops, improved, max_nodes):
+        num_targets = len(targets)
+        adjacency = graph.adjacency()
+        heads = np.fromiter((t.head for t in targets), np.int64, num_targets)
+        tails = np.fromiter((t.tail for t in targets), np.int64, num_targets)
+        sources = np.empty(2 * num_targets, dtype=np.int64)
+        sources[0::2] = heads
+        sources[1::2] = tails
+        partners = np.empty_like(sources)
+        partners[0::2] = tails
+        partners[1::2] = heads
+        region = _stacked_bfs(adjacency, sources, hops)
+        distance = _stacked_bfs(adjacency, sources, hops, blocked=partners)
+        vectorized = _assemble_labels_batch(graph, heads, tails, region,
+                                            distance, hops, improved, max_nodes)
+        legacy = _assemble_all_pairs_legacy(graph, heads, tails, region,
+                                            distance, hops, improved, max_nodes)
+        return vectorized, legacy
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        graph_seed=st.integers(0, 2**16),
+        target_seed=st.integers(0, 2**16),
+        num_entities=st.integers(4, 40),
+        hops=st.integers(0, 3),
+        improved=st.booleans(),
+        max_nodes=st.sampled_from([4, 200]),
+    )
+    def test_assembly_paths_bit_identical(self, graph_seed, target_seed,
+                                          num_entities, hops, improved,
+                                          max_nodes):
+        graph = _random_graph(num_entities, 3, num_entities * 3, graph_seed)
+        rng = np.random.default_rng(target_seed)
+        targets = [Triple(int(h), 0, int(t))
+                   for h, t in zip(rng.integers(0, num_entities, 8),
+                                   rng.integers(0, num_entities, 8))]
+        targets.append(Triple(0, 0, 0))
+        vectorized, legacy = self._assemble_both(graph, targets, hops,
+                                                 improved, max_nodes)
+        for column, (fast, slow) in enumerate(zip(vectorized, legacy)):
+            for pair, (left, right) in enumerate(zip(fast, slow)):
+                if isinstance(left, np.ndarray):
+                    np.testing.assert_array_equal(
+                        left, right, err_msg=f"column={column} pair={pair}")
+                else:
+                    assert left == right, f"column={column} pair={pair}"
+
+    def test_out_of_range_endpoints_use_reference_path(self):
+        # Flat pair*num_nodes+node keys cannot encode endpoints outside the
+        # graph; such batches must still equal the legacy assembly.
+        graph = KnowledgeGraph(4, 1, [Triple(0, 0, 1), Triple(1, 0, 2)])
+        targets = [Triple(0, 0, 7), Triple(9, 0, 1), Triple(0, 0, 2)]
+        vectorized, legacy = self._assemble_both(graph, targets, hops=2,
+                                                 improved=True, max_nodes=200)
+        labels_fast, nodes_fast = vectorized[0], vectorized[1]
+        labels_slow, nodes_slow = legacy[0], legacy[1]
+        assert labels_fast == labels_slow
+        assert nodes_fast == nodes_slow
+        assert 7 in labels_fast[0] and 9 in labels_fast[1]
 
 
 class TestMaskedEdges:
