@@ -1,0 +1,216 @@
+"""Serving-layer benchmark: coalesced daemon throughput, equivalence-gated.
+
+PR 9 added :mod:`repro.serving` — a long-lived scoring service whose
+request coalescer batches concurrent queries under a latency budget and
+whose :class:`~repro.subgraph.provider.SubgraphProvider` stays warm across
+requests.  This benchmark measures the two effects that justify a daemon
+over per-query process startup, and gates both on correctness first:
+
+* **cold vs warm provider** — the same scoring workload through a
+  DEKG-ILP-backed service twice.  The first pass pays every subgraph
+  extraction; the second serves them from the provider cache.  The warm
+  pass must be >= 2x the cold throughput (``REPRO_BENCH_SERVING_GATE=off``
+  downgrades this floor on contended runners).
+* **1 vs N concurrent clients** — N threads issuing single-triple TransE
+  queries against one service.  TransE is ``batch_invariant_scoring``, so
+  the coalescer fuses concurrent requests into batched compute; the run
+  records aggregate throughput and how many requests were fused.
+
+Every serving-path score is compared against the direct
+``model.score_many`` result, and served ``rank`` responses against
+:meth:`ShardWorkload.rank_item` — exact equality, bit for bit.  That
+**equivalence gate is always hard**: there is no environment switch that
+relaxes it, because a daemon that changes scores is wrong no matter how
+fast it is.  Results append to ``BENCH_serving.json`` (override with
+``REPRO_BENCH_SERVING_JSON``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, List
+
+from common import append_bench_run, print_banner
+from repro.datasets.benchmark import build_benchmark
+from repro.eval.evaluator import Evaluator
+from repro.registry import build_model
+from repro.serving import InProcessClient, ScoringService
+
+JSON_PATH = os.environ.get(
+    "REPRO_BENCH_SERVING_JSON",
+    os.path.join(os.path.dirname(__file__), "BENCH_serving.json"))
+GATE = os.environ.get("REPRO_BENCH_SERVING_GATE", "on") != "off"
+
+SCALE = 0.25          # synthetic KG scale; ~60 test triples
+EMBEDDING_DIM = 16
+MAX_BATCH = 64        # coalescer fusion cap
+MAX_WAIT_MS = 2.0     # fixed latency budget for every throughput number
+NUM_CLIENTS = 4       # concurrent clients in the fan-in run
+QUERIES_PER_CLIENT = 60
+WARM_FLOOR = 2.0      # warm-provider throughput floor vs cold
+
+
+def _build_service(dataset, names):
+    graph = dataset.split.evaluation_graph()
+    models = {name: build_model(name, num_entities=graph.num_entities,
+                                num_relations=graph.num_relations,
+                                embedding_dim=EMBEDDING_DIM, seed=0)
+              for name in names}
+    return ScoringService(models, graph, max_batch=MAX_BATCH,
+                          max_wait_ms=MAX_WAIT_MS)
+
+
+def _provider_pass(service, client, triples) -> Dict:
+    """One full scoring pass; returns throughput + provider counters."""
+    provider = service._models["DEKG-ILP"].subgraph_provider
+    before = provider.stats()
+    started = time.perf_counter()
+    scores = client.score_many("DEKG-ILP", triples)
+    elapsed = time.perf_counter() - started
+    after = provider.stats()
+    return {
+        "scores": scores,
+        "seconds": elapsed,
+        "triples_per_second": len(triples) / elapsed,
+        "provider_hits": after["lifetime_hits"] - before["lifetime_hits"],
+        "provider_misses": after["lifetime_misses"] - before["lifetime_misses"],
+    }
+
+
+def test_serving_benchmark():
+    dataset = build_benchmark("fb15k-237", "EQ", seed=0, scale=SCALE)
+    triples = list(dataset.test_triples)
+    rows: List[Dict] = []
+
+    # ---- cold vs warm provider (DEKG-ILP: extraction-dominated) -------- #
+    with _build_service(dataset, ["DEKG-ILP"]) as service:
+        client = InProcessClient(service)
+        # Cold pass FIRST: any direct scoring beforehand would warm the
+        # provider cache and fake the cold number.
+        cold = _provider_pass(service, client, triples)
+        warm = _provider_pass(service, client, triples)
+        reference = [float(s)
+                     for s in service._models["DEKG-ILP"].score_many(triples)]
+
+        # Equivalence gate (always hard): both passes bit-identical to the
+        # direct score_many call — a cache hit must not move a score.
+        assert cold["scores"] == reference, \
+            "cold-provider served scores diverged from direct score_many"
+        assert warm["scores"] == reference, \
+            "warm-provider served scores diverged from direct score_many"
+
+        # ... and served ranks == the Evaluator's rank_item, exactly.
+        evaluator = Evaluator(dataset, max_candidates=20, seed=0)
+        workload = evaluator._workload(triples[:5], "DEKG-ILP")
+        for item in range(workload.num_items):
+            direct = workload.rank_item(service._models["DEKG-ILP"], item)
+            triple_index, form_index = divmod(item, len(workload.forms))
+            from repro.eval.ranking import candidate_rng, filtered_candidates
+            candidates = filtered_candidates(
+                workload.triples[triple_index], workload.forms[form_index],
+                entity_candidates=workload.entity_candidates,
+                relation_candidates=workload.relation_candidates,
+                known_facts=workload.known_facts,
+                max_candidates=workload.max_candidates,
+                rng=candidate_rng(workload.seed, triple_index, form_index))
+            served = client.rank("DEKG-ILP", workload.triples[triple_index],
+                                 candidates)
+            assert served["rank"] == direct, \
+                f"served rank diverged from Evaluator rank_item on item {item}"
+
+        warm_speedup = warm["triples_per_second"] / cold["triples_per_second"]
+        rows.append({
+            "scenario": "provider_cold", "clients": 1,
+            "queries": len(triples), **{k: v for k, v in cold.items()
+                                        if k != "scores"},
+        })
+        rows.append({
+            "scenario": "provider_warm", "clients": 1,
+            "queries": len(triples), **{k: v for k, v in warm.items()
+                                        if k != "scores"},
+            "speedup_vs_cold": warm_speedup,
+        })
+
+    # ---- 1 vs N concurrent clients (TransE: fusion-dominated) ---------- #
+    queries = [triples[i % len(triples)] for i in range(QUERIES_PER_CLIENT)]
+    for clients in (1, NUM_CLIENTS):
+        with _build_service(dataset, ["TransE"]) as service:
+            reference = {
+                i: float(service._models["TransE"].score_many([t])[0])
+                for i, t in enumerate(queries)}
+            results: List[Dict[int, float]] = [dict() for _ in range(clients)]
+            errors: List[BaseException] = []
+
+            def run_client(slot):
+                try:
+                    mine = InProcessClient(service)
+                    for i, triple in enumerate(queries):
+                        results[slot][i] = mine.score(
+                            "TransE", triple.head, triple.relation, triple.tail)
+                except BaseException as error:  # surfaced after join
+                    errors.append(error)
+
+            started = time.perf_counter()
+            threads = [threading.Thread(target=run_client, args=(slot,))
+                       for slot in range(clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+            assert not errors, errors
+
+            # Equivalence gate (always hard): every client, every query.
+            for slot in range(clients):
+                assert results[slot] == reference, \
+                    f"client {slot}: coalesced scores diverged from direct"
+
+            stats = service.coalescer_stats()
+            total = clients * QUERIES_PER_CLIENT
+            rows.append({
+                "scenario": f"concurrent_{clients}_clients",
+                "clients": clients,
+                "queries": total,
+                "seconds": elapsed,
+                "queries_per_second": total / elapsed,
+                "fused_requests": stats["fused_requests"],
+                "flushes": stats["flushes"],
+            })
+
+    append_bench_run(
+        JSON_PATH, "serving", "queries_per_second",
+        config={"scale": SCALE, "embedding_dim": EMBEDDING_DIM,
+                "max_batch": MAX_BATCH, "max_wait_ms": MAX_WAIT_MS,
+                "queries_per_client": QUERIES_PER_CLIENT,
+                "equivalence_gate": "hard",
+                "warm_floor": WARM_FLOOR if GATE else None},
+        results=rows)
+
+    print_banner(f"serving — budget {MAX_WAIT_MS} ms / batch {MAX_BATCH}, "
+                 "equivalence-gated vs direct score_many + rank_item")
+    for row in rows:
+        rate = row.get("triples_per_second") or row.get("queries_per_second")
+        extra = ""
+        if "speedup_vs_cold" in row:
+            extra = f"  ({row['speedup_vs_cold']:.1f}x vs cold)"
+        if "fused_requests" in row:
+            extra = (f"  (fused {row['fused_requests']}/{row['queries']} "
+                     f"in {row['flushes']} flushes)")
+        print(f"  {row['scenario']:24s} clients={row['clients']}: "
+              f"{rate:8.1f} q/s over {row['queries']:3d} queries{extra}")
+    print(f"  -> {JSON_PATH}")
+
+    if GATE:
+        warm_row = next(r for r in rows if r["scenario"] == "provider_warm")
+        assert warm_row["speedup_vs_cold"] >= WARM_FLOOR, (
+            f"warm-provider throughput {warm_row['speedup_vs_cold']:.2f}x cold "
+            f"is below the {WARM_FLOOR}x floor "
+            "(set REPRO_BENCH_SERVING_GATE=off on contended runners)")
+        assert warm_row["provider_misses"] == 0, \
+            "warm pass re-extracted subgraphs the cold pass should have cached"
+
+
+if __name__ == "__main__":
+    test_serving_benchmark()

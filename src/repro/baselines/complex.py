@@ -19,7 +19,7 @@ from repro.baselines.base import EmbeddingModel
 from repro.registry import register_model
 
 
-@register_model("ComplEx",
+@register_model("ComplEx", batch_invariant_scoring=True,
                 description="complex bilinear scoring Re(<h, r, conj(t)>) (transductive)")
 class ComplEx(EmbeddingModel):
     """Complex-valued semantic-matching baseline."""

@@ -9,7 +9,8 @@ from repro.baselines.base import EmbeddingModel
 from repro.registry import register_model
 
 
-@register_model("DistMult", description="bilinear-diagonal scoring <h, r, t> (transductive)")
+@register_model("DistMult", batch_invariant_scoring=True,
+                description="bilinear-diagonal scoring <h, r, t> (transductive)")
 class DistMult(EmbeddingModel):
     """Semantic-matching baseline (also the decoder used inside CLRM)."""
 

@@ -26,7 +26,8 @@ from repro.kg.triple import Triple
 from repro.registry import register_model
 
 
-@register_model("GEN", description="meta-learned neighbour aggregation for unseen entities")
+@register_model("GEN", batch_invariant_scoring=True,
+                description="meta-learned neighbour aggregation for unseen entities")
 class GEN(DistMult):
     """Meta-learned neighbour-aggregation baseline (simplified GEN)."""
 

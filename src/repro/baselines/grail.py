@@ -75,6 +75,21 @@ class Grail(CheckpointableModule, LinkPredictor, Module):
         self._context: Optional[KnowledgeGraph] = None
         self._rng = np.random.default_rng(seed)
 
+    def use_subgraph_provider(self, provider: SubgraphProvider) -> None:
+        """Adopt a shared extraction provider (see ``share_provider``).
+
+        Cached extractions are relation-agnostic, so Grail/TACT can share a
+        provider with each other and with DEKG-ILP on the same context graph
+        — provided the extraction signature (hops, improved labeling,
+        max nodes) matches; a mismatch would change scores, so it raises.
+        """
+        expected = self.subgraph_provider.extraction_signature
+        if provider.extraction_signature != expected:
+            raise ValueError(
+                f"provider signature {provider.extraction_signature} does not "
+                f"match the model's extraction settings {expected}")
+        self.subgraph_provider = provider
+
     # ------------------------------------------------------------------ #
     def _triple_score(self, graph: KnowledgeGraph, triple: Triple) -> Tensor:
         return self.gsm.score(graph, triple)

@@ -19,7 +19,7 @@ from repro.baselines.base import EmbeddingModel
 from repro.registry import register_model
 
 
-@register_model("HolE",
+@register_model("HolE", batch_invariant_scoring=True,
                 description="holographic embeddings r · (h ⋆ t) via circular correlation")
 class HolE(EmbeddingModel):
     """Circular-correlation baseline."""

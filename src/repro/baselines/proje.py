@@ -23,7 +23,7 @@ from repro.baselines.base import EmbeddingModel
 from repro.registry import register_model
 
 
-@register_model("ProjE",
+@register_model("ProjE", batch_invariant_scoring=True,
                 description="pointwise projection t · tanh(d_e ⊙ h + d_r ⊙ r + b_c)")
 class ProjE(EmbeddingModel):
     """Diagonal-projection baseline (ProjE_pointwise)."""

@@ -15,7 +15,8 @@ from repro.baselines.base import EmbeddingModel
 from repro.registry import register_model
 
 
-@register_model("RotatE", description="relations as complex rotations -||h ∘ r - t|| (transductive)")
+@register_model("RotatE", batch_invariant_scoring=True,
+                description="relations as complex rotations -||h ∘ r - t|| (transductive)")
 class RotatE(EmbeddingModel):
     """Rotation-based baseline."""
 

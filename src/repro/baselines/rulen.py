@@ -27,7 +27,8 @@ from repro.kg.triple import Triple
 from repro.registry import register_model
 
 
-@register_model("RuleN", description="statistical path-rule mining with confidence scores")
+@register_model("RuleN", batch_invariant_scoring=True,
+                description="statistical path-rule mining with confidence scores")
 class RuleN(LinkPredictor):
     """Rule-mining baseline."""
 

@@ -20,7 +20,7 @@ from repro.baselines.base import EmbeddingModel
 from repro.registry import register_model
 
 
-@register_model("SimplE",
+@register_model("SimplE", batch_invariant_scoring=True,
                 description="averaged head/tail-role CP scoring with inverse relations")
 class SimplE(EmbeddingModel):
     """Canonical-polyadic baseline with tied inverse-relation factors."""

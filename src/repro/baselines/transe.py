@@ -9,7 +9,8 @@ from repro.baselines.base import EmbeddingModel
 from repro.registry import register_model
 
 
-@register_model("TransE", description="translational distance -||h + r - t|| (transductive, §V-B adaptation)")
+@register_model("TransE", batch_invariant_scoring=True,
+                description="translational distance -||h + r - t|| (transductive, §V-B adaptation)")
 class TransE(EmbeddingModel):
     """Translational-distance baseline."""
 

@@ -37,6 +37,7 @@ Show the paper-scale parameter-complexity table::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -49,7 +50,7 @@ from repro.experiment import (DatasetSection, Experiment, ExperimentConfig,
                               ModelSection)
 from repro.kg.serialization import save_split
 from repro.registry import (allowed_override_keys, default_parameter_count,
-                            model_names, registered_models)
+                            model_names, registered_models, registry_listing)
 from repro.subgraph.provider import cache_policy_names
 
 
@@ -122,6 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
                                     "(default: the fb15k-237 profile)")
     models_parser.add_argument("--relations", type=int, default=None,
                                help="relation count for the parameter count")
+    models_parser.add_argument("--json", action="store_true", dest="as_json",
+                               help="emit the machine-readable registry listing "
+                                    "(name, parameters, capability flags) for "
+                                    "service discovery")
 
     compare_parser = subparsers.add_parser("compare", help="train and evaluate several models")
     _add_dataset_arguments(compare_parser)
@@ -134,6 +139,30 @@ def build_parser() -> argparse.ArgumentParser:
     complexity_parser.add_argument("--entities", type=int, default=3668)
     complexity_parser.add_argument("--relations", type=int, default=215)
     complexity_parser.add_argument("--dim", type=int, default=32)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the long-lived scoring daemon (ndjson over TCP)")
+    _add_dataset_arguments(serve_parser)
+    serve_parser.add_argument("--config", default=None, metavar="PATH",
+                              help="ExperimentConfig JSON: train the model, "
+                                   "then keep it warm and serve (the dataset "
+                                   "flags are ignored — the config describes "
+                                   "the dataset)")
+    serve_parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                              help="model.npz checkpoint to serve; the dataset "
+                                   "flags rebuild the benchmark whose "
+                                   "evaluation graph becomes the scoring "
+                                   "context")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=7777)
+    serve_parser.add_argument("--max-batch", type=int, default=64,
+                              help="coalescer flush threshold in triples")
+    serve_parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                              help="coalescer latency budget: a request waits "
+                                   "at most this long before its flush")
+    serve_parser.add_argument("--stats-path", default=None, metavar="PATH",
+                              help="where the telemetry snapshot is atomically "
+                                   "written on shutdown")
 
     return parser
 
@@ -235,6 +264,9 @@ def _command_models(args: argparse.Namespace) -> int:
         count_kwargs["num_entities"] = args.entities
     if args.relations is not None:
         count_kwargs["num_relations"] = args.relations
+    if args.as_json:
+        print(json.dumps(registry_listing(**count_kwargs), indent=2))
+        return 0
     rows = []
     for name, spec in registered_models().items():
         capabilities = [
@@ -244,6 +276,8 @@ def _command_models(args: argparse.Namespace) -> int:
             capabilities.append("sharded-eval")
         if spec.checkpointable:
             capabilities.append("checkpointable")
+        if spec.batch_invariant_scoring:
+            capabilities.append("batch-invariant")
         rows.append({
             "model": name,
             "parameters": default_parameter_count(name, **count_kwargs),
@@ -279,6 +313,28 @@ def _command_complexity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported here so the batch commands never pay for the serving stack.
+    from repro.serving import ScoringService, run_daemon
+    if (args.config is None) == (args.checkpoint is None):
+        raise SystemExit("pass exactly one of --config or --checkpoint")
+    kwargs = dict(max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+                  stats_path=args.stats_path)
+    if args.config is not None:
+        print(f"training from {args.config} ...", file=sys.stderr)
+        service = ScoringService.from_experiment(args.config, **kwargs)
+    else:
+        service = ScoringService.from_checkpoint(
+            args.checkpoint, dataset_name=args.name, split=args.split,
+            scale=args.scale, seed=args.seed, **kwargs)
+    print(f"serving {service.model_names} on {args.host}:{args.port} "
+          "(Ctrl-C or SIGTERM drains and exits)", file=sys.stderr)
+    stats_path = run_daemon(service, host=args.host, port=args.port)
+    if stats_path is not None:
+        print(f"telemetry written to {stats_path}", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "dataset": _command_dataset,
     "evaluate": _command_evaluate,
@@ -286,6 +342,7 @@ _COMMANDS = {
     "models": _command_models,
     "compare": _command_compare,
     "complexity": _command_complexity,
+    "serve": _command_serve,
 }
 
 

@@ -82,6 +82,27 @@ class DEKGILP(Module):
             else None
         )
 
+    def use_subgraph_provider(self, provider: SubgraphProvider) -> None:
+        """Adopt a shared extraction provider (see ``share_provider``).
+
+        Extractions are relation-agnostic and keyed by (head, tail) per CSR
+        snapshot, so several models scoring the same context graph can serve
+        from one provider — but only when the extraction signature matches:
+        a provider with different ``hops`` / ``improved_labeling`` /
+        ``max_nodes`` would produce different subgraphs and hence different
+        scores, so the mismatch raises instead of silently changing results.
+        """
+        if self.subgraph_provider is None:
+            raise ValueError(
+                "model has no subgraph provider (GSM disabled); "
+                "nothing to share")
+        expected = self.subgraph_provider.extraction_signature
+        if provider.extraction_signature != expected:
+            raise ValueError(
+                f"provider signature {provider.extraction_signature} does not "
+                f"match the model's extraction settings {expected}")
+        self.subgraph_provider = provider
+
     # ------------------------------------------------------------------ #
     # context management
     # ------------------------------------------------------------------ #

@@ -16,6 +16,15 @@ and the capability flags the rest of the system branches on:
   :class:`repro.core.persistence.Checkpointable` protocol, so
   ``save_model`` / ``load_model`` and worker replicas use the npz checkpoint
   path instead of pickling.
+* ``batch_invariant_scoring`` — ``score_many`` is **bitwise** invariant to
+  how a triple list is split into calls (elementwise / per-row scoring with
+  no batch-shape-dependent GEMM or convolution), so the serving layer's
+  request coalescer may fuse concurrent requests into one ``score_many``
+  call without breaking its bit-identity-to-sequential guarantee.  The
+  subgraph models (DEKG-ILP family, Grail, TACT) and ConvE are *not*
+  invariant — BLAS picks different kernels for different union/batch row
+  counts, shifting results by an ulp — so they are served one request
+  composition at a time.
 
 The registry is the single construction path shared by the CLI, the
 :class:`repro.experiment.Experiment` facade, the grid search, the
@@ -69,6 +78,7 @@ class ModelSpec:
     trainer_driven: bool = False
     supports_sharded_eval: bool = True
     checkpointable: bool = True
+    batch_invariant_scoring: bool = False
     model_overrides: Mapping[str, Any] = field(default_factory=dict)
     training_overrides: Mapping[str, Any] = field(default_factory=dict)
     description: str = ""
@@ -79,6 +89,7 @@ class ModelSpec:
             "trainer_driven": self.trainer_driven,
             "supports_sharded_eval": self.supports_sharded_eval,
             "checkpointable": self.checkpointable,
+            "batch_invariant_scoring": self.batch_invariant_scoring,
         }
 
     def apply_training_overrides(self, training_config):
@@ -102,6 +113,7 @@ def register_model(name: str, *, config_class: Optional[type] = None,
                    trainer_driven: bool = False,
                    supports_sharded_eval: bool = True,
                    checkpointable: bool = True,
+                   batch_invariant_scoring: bool = False,
                    model_overrides: Optional[Mapping[str, Any]] = None,
                    training_overrides: Optional[Mapping[str, Any]] = None,
                    description: str = ""):
@@ -121,6 +133,7 @@ def register_model(name: str, *, config_class: Optional[type] = None,
             trainer_driven=trainer_driven,
             supports_sharded_eval=supports_sharded_eval,
             checkpointable=checkpointable,
+            batch_invariant_scoring=batch_invariant_scoring,
             model_overrides=dict(model_overrides or {}),
             training_overrides=dict(training_overrides or {}),
             description=description,
@@ -272,6 +285,25 @@ def build_model(name: str, *, num_entities: int, num_relations: int,
                              embedding_dim=embedding_dim, seed=seed, **merged)
     model.name = name
     return model
+
+
+def registry_listing(num_entities: int = REFERENCE_NUM_ENTITIES,
+                     num_relations: int = REFERENCE_NUM_RELATIONS) -> List[Dict[str, Any]]:
+    """Machine-readable registry rows for service discovery.
+
+    One dict per registered model — ``name``, ``parameters`` (learned-scalar
+    count at the default configuration on the given graph profile),
+    ``capabilities`` (the :meth:`ModelSpec.capabilities` dict) and
+    ``description``.  Shared by ``repro models --json`` and the serving
+    daemon's ``models`` op so both report the same facts.
+    """
+    return [{
+        "name": name,
+        "parameters": default_parameter_count(
+            name, num_entities=num_entities, num_relations=num_relations),
+        "capabilities": spec.capabilities(),
+        "description": spec.description,
+    } for name, spec in registered_models().items()]
 
 
 def default_parameter_count(name: str,

@@ -820,3 +820,63 @@ class SubgraphProvider:
         self.context_hits = 0
         self.context_misses = 0
         self.context_switches = 0
+
+
+# --------------------------------------------------------------------- #
+# the shared-provider seam
+# --------------------------------------------------------------------- #
+def share_provider(models: Sequence[object], *, policy: Optional[str] = None,
+                   cache_size: Optional[int] = None,
+                   snapshots: Optional[int] = None,
+                   batched: Optional[bool] = None) -> Optional[SubgraphProvider]:
+    """Build one provider for several provider-backed models and inject it.
+
+    Extractions are relation-agnostic and keyed by ``(head, tail)`` per CSR
+    snapshot, so models that agree on the extraction signature (``hops``,
+    ``improved_labeling``, ``max_nodes``) can serve from one cache: DEKG-ILP,
+    Grail and TACT evaluated on the same context graph reuse every
+    extraction instead of each paying for its own.  Models without a
+    ``subgraph_provider`` (the embedding baselines, DEKG-ILP with GSM
+    disabled) are skipped; models whose signatures disagree raise, because a
+    shared entry would not be the extraction the model's own provider would
+    have produced.
+
+    The shared provider inherits its configuration from the adoptees unless
+    overridden: the first adoptee's policy and batching, the *largest*
+    ``cache_size`` / ``snapshots`` among them (a shared cache serves a
+    superset of any single model's workload).  Returns the injected provider,
+    or ``None`` when no model in ``models`` is provider-backed.
+
+    Counter scopes stay correct under multi-model use by construction —
+    hits/misses/switches live on the provider, not the adopting models, so
+    ``stats()`` reports the combined workload and every model's
+    ``subgraph_cache_stats`` views the same numbers.
+    """
+    backed = [model for model in models
+              if getattr(model, "subgraph_provider", None) is not None]
+    if not backed:
+        return None
+    signatures = {model.subgraph_provider.extraction_signature for model in backed}
+    if len(signatures) > 1:
+        described = {getattr(model, "name", type(model).__name__):
+                     model.subgraph_provider.extraction_signature
+                     for model in backed}
+        raise ValueError(
+            "models disagree on the extraction signature "
+            f"(hops, improved_labeling, max_nodes): {described}; "
+            "a shared provider would serve wrong extractions")
+    template = backed[0].subgraph_provider
+    shared = SubgraphProvider(
+        hops=template.hops,
+        improved_labeling=template.improved_labeling,
+        max_nodes=template.max_nodes,
+        policy=policy if policy is not None else template.policy_name,
+        cache_size=cache_size if cache_size is not None
+        else max(model.subgraph_provider.cache_size for model in backed),
+        snapshots=snapshots if snapshots is not None
+        else max(model.subgraph_provider.snapshots for model in backed),
+        batched=template.batched if batched is None else batched,
+    )
+    for model in backed:
+        model.use_subgraph_provider(shared)
+    return shared

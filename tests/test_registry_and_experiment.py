@@ -44,7 +44,8 @@ class TestRegistry:
             assert spec.checkpointable
             assert spec.supports_sharded_eval
             assert set(spec.capabilities()) == {
-                "trainer_driven", "supports_sharded_eval", "checkpointable"}
+                "trainer_driven", "supports_sharded_eval", "checkpointable",
+                "batch_invariant_scoring"}
 
     def test_variant_overrides(self):
         assert registered_models()["DEKG-ILP-R"].model_overrides == {"use_semantic": False}

@@ -28,7 +28,7 @@ from repro.subgraph.provider import (AdaptiveLRUPolicy, CorruptionAwarePolicy,
                                      _assemble_all_pairs_legacy,
                                      _assemble_labels_batch, _stacked_bfs,
                                      extract_batch, make_cache_policy,
-                                     masked_edges)
+                                     masked_edges, share_provider)
 
 
 def _random_graph(num_entities: int, num_relations: int, num_triples: int,
@@ -422,3 +422,70 @@ class TestProviderPinningIntegration:
 
         np.testing.assert_allclose(run("corruption_aware", 2),
                                    run("lru", 4096), rtol=0, atol=1e-12)
+
+
+class TestShareProvider:
+    """The cross-model seam the serving layer builds on."""
+
+    @staticmethod
+    def _build(name, graph):
+        from repro.registry import build_model
+        model = build_model(name, num_entities=graph.num_entities,
+                            num_relations=graph.num_relations,
+                            embedding_dim=4, seed=0)
+        model.set_context(graph)
+        return model
+
+    def test_same_signature_models_adopt_one_provider(self):
+        graph = _random_graph(20, 2, 50, seed=7)
+        # DEKG-ILP-N (GraIL labeling), Grail and TACT all extract with
+        # (hops=2, improved_labeling=False, max_nodes=150).
+        models = [self._build(n, graph) for n in ("DEKG-ILP-N", "Grail", "TACT")]
+        triples = [Triple(0, 0, 1), Triple(2, 1, 3)]
+        before = {m.name: [float(s) for s in m.score_many(triples)]
+                  for m in models}
+        shared = share_provider(models)
+        assert shared is not None
+        assert all(m.subgraph_provider is shared for m in models)
+        # Sharing the cache must not move a single score.
+        for model in models:
+            assert [float(s) for s in model.score_many(triples)] == before[model.name]
+        stats = shared.stats()
+        # Second and third models hit what the first extracted.
+        assert stats["lifetime_hits"] > 0
+
+    def test_signature_mismatch_raises(self):
+        graph = _random_graph(20, 2, 50, seed=7)
+        # DEKG-ILP uses improved labeling; Grail does not.
+        models = [self._build(n, graph) for n in ("DEKG-ILP", "Grail")]
+        with pytest.raises(ValueError, match="extraction signature"):
+            share_provider(models)
+
+    def test_no_provider_backed_models_returns_none(self):
+        graph = _random_graph(20, 2, 50, seed=7)
+        models = [self._build(n, graph) for n in ("TransE", "DistMult")]
+        assert share_provider(models) is None
+
+    def test_embedding_models_are_skipped_not_rejected(self):
+        graph = _random_graph(20, 2, 50, seed=7)
+        grail = self._build("Grail", graph)
+        transe = self._build("TransE", graph)
+        shared = share_provider([grail, transe])
+        assert shared is grail.subgraph_provider
+        assert not hasattr(transe, "subgraph_provider") or \
+            getattr(transe, "subgraph_provider", None) is None
+
+    def test_capacity_takes_the_largest_adoptee(self):
+        graph = _random_graph(20, 2, 50, seed=7)
+        a = self._build("Grail", graph)
+        b = self._build("TACT", graph)
+        big = max(a.subgraph_provider.cache_size, b.subgraph_provider.cache_size)
+        shared = share_provider([a, b])
+        assert shared.cache_size == big
+
+    def test_use_subgraph_provider_rejects_wrong_signature(self):
+        graph = _random_graph(20, 2, 50, seed=7)
+        dekg = self._build("DEKG-ILP", graph)
+        grail = self._build("Grail", graph)
+        with pytest.raises(ValueError):
+            dekg.use_subgraph_provider(grail.subgraph_provider)
