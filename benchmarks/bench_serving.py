@@ -11,10 +11,19 @@ over per-query process startup, and gates both on correctness first:
   extraction; the second serves them from the provider cache.  The warm
   pass must be >= 2x the cold throughput (``REPRO_BENCH_SERVING_GATE=off``
   downgrades this floor on contended runners).
-* **1 vs N concurrent clients** — N threads issuing single-triple TransE
-  queries against one service.  TransE is ``batch_invariant_scoring``, so
-  the coalescer fuses concurrent requests into batched compute; the run
-  records aggregate throughput and how many requests were fused.
+* **1 vs N concurrent clients, per transport** — N threads issuing
+  single-triple TransE queries against one service, once through
+  :class:`InProcessClient` and once through :class:`SocketClient` against
+  a live ndjson TCP daemon.  TransE is ``batch_invariant_scoring``, so the
+  coalescer fuses concurrent requests into batched compute; each row
+  records the transport, aggregate throughput, and how many requests were
+  fused — the socket rows quantify what the wire framing costs on top of
+  the same coalescer.
+* **multi-process serving replicas** — the DEKG-ILP workload again, with
+  ``replicas=2`` spawned scoring processes sharing the model parameters
+  and CSR graph through read-only shared-memory pages (PR 10).  The row
+  records dispatch throughput; the scores must equal the in-process pass
+  bit for bit.
 
 Every serving-path score is compared against the direct
 ``model.score_many`` result, and served ``rank`` responses against
@@ -36,7 +45,7 @@ from common import append_bench_run, print_banner
 from repro.datasets.benchmark import build_benchmark
 from repro.eval.evaluator import Evaluator
 from repro.registry import build_model
-from repro.serving import InProcessClient, ScoringService
+from repro.serving import InProcessClient, ScoringService, SocketClient, serve
 
 JSON_PATH = os.environ.get(
     "REPRO_BENCH_SERVING_JSON",
@@ -52,14 +61,21 @@ QUERIES_PER_CLIENT = 60
 WARM_FLOOR = 2.0      # warm-provider throughput floor vs cold
 
 
-def _build_service(dataset, names):
+def _build_service(dataset, names, replicas: int = 0):
     graph = dataset.split.evaluation_graph()
     models = {name: build_model(name, num_entities=graph.num_entities,
                                 num_relations=graph.num_relations,
                                 embedding_dim=EMBEDDING_DIM, seed=0)
               for name in names}
+    if replicas:
+        # Replicas only ship eval-mode models (training-mode dropout draws
+        # cannot be reproduced in a spawned replica — same rule as sharded
+        # evaluation), and serving is inference anyway.
+        for model in models.values():
+            if hasattr(model, "eval"):
+                model.eval()
     return ScoringService(models, graph, max_batch=MAX_BATCH,
-                          max_wait_ms=MAX_WAIT_MS)
+                          max_wait_ms=MAX_WAIT_MS, replicas=replicas)
 
 
 def _provider_pass(service, client, triples) -> Dict:
@@ -122,62 +138,116 @@ def test_serving_benchmark():
 
         warm_speedup = warm["triples_per_second"] / cold["triples_per_second"]
         rows.append({
-            "scenario": "provider_cold", "clients": 1,
+            "scenario": "provider_cold", "clients": 1, "transport": "inprocess",
             "queries": len(triples), **{k: v for k, v in cold.items()
                                         if k != "scores"},
         })
         rows.append({
-            "scenario": "provider_warm", "clients": 1,
+            "scenario": "provider_warm", "clients": 1, "transport": "inprocess",
             "queries": len(triples), **{k: v for k, v in warm.items()
                                         if k != "scores"},
             "speedup_vs_cold": warm_speedup,
         })
 
-    # ---- 1 vs N concurrent clients (TransE: fusion-dominated) ---------- #
+    # ---- 1 vs N concurrent clients x transport (TransE: fusion) -------- #
+    # The same fan-in workload runs through both transports: in-process
+    # futures, then ndjson over a real TCP socket against a live daemon.
+    # Scores must match the direct path either way; the socket rows isolate
+    # the wire-framing overhead from the coalescing behaviour.
     queries = [triples[i % len(triples)] for i in range(QUERIES_PER_CLIENT)]
-    for clients in (1, NUM_CLIENTS):
-        with _build_service(dataset, ["TransE"]) as service:
-            reference = {
-                i: float(service._models["TransE"].score_many([t])[0])
-                for i, t in enumerate(queries)}
-            results: List[Dict[int, float]] = [dict() for _ in range(clients)]
-            errors: List[BaseException] = []
-
-            def run_client(slot):
+    for transport in ("inprocess", "socket"):
+        for clients in (1, NUM_CLIENTS):
+            with _build_service(dataset, ["TransE"]) as service:
+                server = None
+                if transport == "socket":
+                    server = serve(service, port=0)
+                    host, port = server.server_address[:2]
+                    threading.Thread(target=server.serve_forever,
+                                     kwargs={"poll_interval": 0.05},
+                                     daemon=True).start()
                 try:
-                    mine = InProcessClient(service)
-                    for i, triple in enumerate(queries):
-                        results[slot][i] = mine.score(
-                            "TransE", triple.head, triple.relation, triple.tail)
-                except BaseException as error:  # surfaced after join
-                    errors.append(error)
+                    reference = {
+                        i: float(service._models["TransE"].score_many([t])[0])
+                        for i, t in enumerate(queries)}
+                    results: List[Dict[int, float]] = [dict()
+                                                       for _ in range(clients)]
+                    errors: List[BaseException] = []
 
-            started = time.perf_counter()
-            threads = [threading.Thread(target=run_client, args=(slot,))
-                       for slot in range(clients)]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-            elapsed = time.perf_counter() - started
-            assert not errors, errors
+                    def run_client(slot):
+                        try:
+                            if transport == "socket":
+                                mine = SocketClient(host, port)
+                            else:
+                                mine = InProcessClient(service)
+                            try:
+                                for i, triple in enumerate(queries):
+                                    results[slot][i] = mine.score(
+                                        "TransE", triple.head,
+                                        triple.relation, triple.tail)
+                            finally:
+                                if transport == "socket":
+                                    mine.close()
+                        except BaseException as error:  # surfaced after join
+                            errors.append(error)
 
-            # Equivalence gate (always hard): every client, every query.
-            for slot in range(clients):
-                assert results[slot] == reference, \
-                    f"client {slot}: coalesced scores diverged from direct"
+                    started = time.perf_counter()
+                    threads = [threading.Thread(target=run_client, args=(slot,))
+                               for slot in range(clients)]
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join()
+                    elapsed = time.perf_counter() - started
+                    assert not errors, errors
 
-            stats = service.coalescer_stats()
-            total = clients * QUERIES_PER_CLIENT
-            rows.append({
-                "scenario": f"concurrent_{clients}_clients",
-                "clients": clients,
-                "queries": total,
-                "seconds": elapsed,
-                "queries_per_second": total / elapsed,
-                "fused_requests": stats["fused_requests"],
-                "flushes": stats["flushes"],
-            })
+                    # Equivalence gate (always hard): every client, every
+                    # query, both transports.
+                    for slot in range(clients):
+                        assert results[slot] == reference, (
+                            f"client {slot} ({transport}): coalesced scores "
+                            "diverged from direct")
+
+                    stats = service.coalescer_stats()
+                    total = clients * QUERIES_PER_CLIENT
+                    rows.append({
+                        "scenario": f"concurrent_{clients}_clients",
+                        "transport": transport,
+                        "clients": clients,
+                        "queries": total,
+                        "seconds": elapsed,
+                        "queries_per_second": total / elapsed,
+                        "fused_requests": stats["fused_requests"],
+                        "flushes": stats["flushes"],
+                    })
+                finally:
+                    if server is not None:
+                        server.shutdown()
+                        server.server_close()
+
+    # ---- multi-process serving replicas (DEKG-ILP over shm pages) ------ #
+    # Same extraction-dominated workload, scored by 2 spawned replicas that
+    # share the parameter page and CSR graph page read-only.  Dispatch goes
+    # through the same coalescer, so scores stay bit-identical; the row
+    # records what per-batch process dispatch costs against the in-process
+    # numbers above.
+    with _build_service(dataset, ["DEKG-ILP"], replicas=2) as service:
+        client = InProcessClient(service)
+        reference = [float(s)
+                     for s in service._models["DEKG-ILP"].score_many(triples)]
+        started = time.perf_counter()
+        scores = client.score_many("DEKG-ILP", triples)
+        elapsed = time.perf_counter() - started
+        assert scores == reference, \
+            "replica-served scores diverged from direct score_many"
+        replica_stats = service.stats()["replicas"]
+        rows.append({
+            "scenario": "replicas_2", "clients": 1, "transport": "inprocess",
+            "queries": len(triples),
+            "seconds": elapsed,
+            "triples_per_second": len(triples) / elapsed,
+            "dispatched_batches": replica_stats["dispatched_batches"],
+            "shared_pages": replica_stats["shared_pages"],
+        })
 
     append_bench_run(
         JSON_PATH, "serving", "queries_per_second",
@@ -198,7 +268,11 @@ def test_serving_benchmark():
         if "fused_requests" in row:
             extra = (f"  (fused {row['fused_requests']}/{row['queries']} "
                      f"in {row['flushes']} flushes)")
-        print(f"  {row['scenario']:24s} clients={row['clients']}: "
+        if "dispatched_batches" in row:
+            extra = (f"  ({row['dispatched_batches']} replica dispatches, "
+                     f"{row['shared_pages']} shared pages)")
+        print(f"  {row['scenario']:24s} {row['transport']:>9s} "
+              f"clients={row['clients']}: "
               f"{rate:8.1f} q/s over {row['queries']:3d} queries{extra}")
     print(f"  -> {JSON_PATH}")
 

@@ -2,9 +2,40 @@
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional
 
 from repro.autodiff.tensor import Tensor
+
+#: When true, :meth:`Module.load_state_dict` adopts incoming *read-only*
+#: arrays as parameter data instead of copying them — the zero-copy restore
+#: path for shared-memory parameter pages.  Flipped only by
+#: :func:`shared_parameter_load`; writable arrays are still copied even
+#: inside the context, so an aliasing bug cannot slip in through it.
+_SHARED_LOAD = False
+
+
+@contextmanager
+def shared_parameter_load():
+    """Adopt read-only arrays in :meth:`Module.load_state_dict` (no copy).
+
+    Inside this context a state-dict value that is a non-writeable array is
+    assigned as parameter data directly.  This is what lets a model restored
+    from a :mod:`repro.shm` parameter page reference the shared segment
+    instead of materializing a private copy per process: the arrays are
+    views over the page buffer, marked read-only precisely because every
+    attached process sees the same bytes.  Eval-mode scoring never writes
+    parameter data; anything that tries (an optimizer step, an in-place
+    re-init) raises numpy's read-only error loudly instead of corrupting
+    sibling processes silently.
+    """
+    global _SHARED_LOAD
+    previous = _SHARED_LOAD
+    _SHARED_LOAD = True
+    try:
+        yield
+    finally:
+        _SHARED_LOAD = previous
 
 
 class Parameter(Tensor):
@@ -110,6 +141,13 @@ class Module:
         if missing or unexpected:
             raise KeyError(f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
         for name, param in own.items():
-            if param.data.shape != state[name].shape:
-                raise ValueError(f"shape mismatch for {name}: {param.data.shape} vs {state[name].shape}")
-            param.data = state[name].copy()
+            value = state[name]
+            if param.data.shape != value.shape:
+                raise ValueError(f"shape mismatch for {name}: {param.data.shape} vs {value.shape}")
+            flags = getattr(value, "flags", None)
+            if _SHARED_LOAD and flags is not None and not flags.writeable:
+                # Zero-copy adoption (shared_parameter_load): the read-only
+                # array stays backed by its shared-memory page.
+                param.data = value
+            else:
+                param.data = value.copy()

@@ -163,6 +163,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--stats-path", default=None, metavar="PATH",
                               help="where the telemetry snapshot is atomically "
                                    "written on shutdown")
+    serve_parser.add_argument("--replicas", type=int, default=0,
+                              help="scoring replica processes behind the "
+                                   "coalescer (0 = score in-process); replicas "
+                                   "share the model and graph via read-only "
+                                   "shared-memory pages")
+    serve_parser.add_argument("--max-pending", type=int, default=None,
+                              help="bounded pending-request queue: beyond this "
+                                   "many queued requests new ones get a "
+                                   "structured 'overloaded' error (default: "
+                                   "unbounded)")
 
     return parser
 
@@ -319,7 +329,8 @@ def _command_serve(args: argparse.Namespace) -> int:
     if (args.config is None) == (args.checkpoint is None):
         raise SystemExit("pass exactly one of --config or --checkpoint")
     kwargs = dict(max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
-                  stats_path=args.stats_path)
+                  stats_path=args.stats_path, replicas=args.replicas,
+                  max_pending=args.max_pending)
     if args.config is not None:
         print(f"training from {args.config} ...", file=sys.stderr)
         service = ScoringService.from_experiment(args.config, **kwargs)

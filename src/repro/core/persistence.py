@@ -361,3 +361,50 @@ def model_from_bytes(payload: bytes, seed: Optional[int] = None):
     """Rebuild a model from :func:`model_to_bytes` output."""
     header, arrays = unpack_archive(payload)
     return _model_from_archive(header, arrays, "<bytes>", seed)
+
+
+# --------------------------------------------------------------------- #
+# shared-memory parameter pages (zero-copy scale-out)
+# --------------------------------------------------------------------- #
+def params_to_shm(model):
+    """Lay ``model``'s parameter arrays into one read-only shared page.
+
+    The page manifest records the same per-array dtype/shape/crc32 triple a
+    format-v3 checkpoint does, and the checkpoint header rides along as the
+    page header — so a :class:`~repro.shm.PageSpec` is a complete,
+    integrity-checked replacement for checkpoint bytes.  Returns the
+    owner-side :class:`~repro.shm.PageHandle` (``handle.spec`` is what
+    crosses the process boundary); the caller owns the segment lifecycle.
+
+    Raises ``TypeError`` for non-checkpointable models, same as
+    :func:`model_to_bytes` — callers fall back to the byte path.
+    """
+    from repro.shm import create_page
+
+    header, arrays = _model_header_and_arrays(model)
+    header["format_version"] = _FORMAT_VERSION
+    return create_page(arrays, header=header)
+
+
+def params_from_shm(spec, seed: Optional[int] = None, verify: bool = True):
+    """Rebuild a model from a parameter page written by :func:`params_to_shm`.
+
+    Arrays are zero-copy read-only views over the shared segment, adopted
+    directly as parameter data via
+    :func:`~repro.autodiff.module.shared_parameter_load` — no
+    deserialization, no private copy.  With ``verify`` (the default) every
+    array's bytes are checked against the manifest crc32 at attach time; a
+    mismatch raises :class:`CheckpointCorruptionError` naming the array.
+
+    The attached page is pinned on the returned model (``model._shm_page``)
+    so the mapping cannot outlive-invert its views.
+    """
+    from repro.autodiff.module import shared_parameter_load
+    from repro.shm import attach_page
+
+    page = attach_page(spec, verify=verify)
+    header = dict(spec.header or {})
+    with shared_parameter_load():
+        model = _model_from_archive(header, page.arrays, f"shm:{spec.name}", seed)
+    model._shm_page = page
+    return model

@@ -18,18 +18,34 @@ Three properties make the fan-out deterministic and spawn-safe:
   the triple-major work list and are merged left-to-right, so the reduced
   rank lists — and therefore every metric, bit for bit — equal the
   sequential run's.
-* **Replicas travel as bytes, not live objects.**  Any model implementing
-  the :class:`repro.core.persistence.Checkpointable` protocol — every
-  registered model does — is round-tripped through the npz checkpoint format
-  (autodiff graph state never crosses the process boundary); any other model
-  implementing the ``set_context`` / ``score_many`` protocol is pickled.
-  Workers rebuild the replica once in their initializer and re-bind the
-  context graph with ``set_context``.  Subgraph-provider state never
-  travels either: a replica's constructor builds a fresh, empty
+* **Replicas travel as shared pages (or bytes), never live objects.**  When
+  shared memory is enabled (:func:`repro.shm.shm_enabled`, the default on
+  Linux), the parent lays the model's parameter arrays and the context
+  graph's frozen CSR snapshot into read-only shared pages once; workers
+  **attach** — zero-copy ``np.ndarray`` views over the segment, adopted
+  via :func:`repro.autodiff.module.shared_parameter_load` and
+  :class:`repro.kg.graph.SharedGraphView` — so per-worker startup cost
+  drops from O(model + graph) deserialization to a few page mappings.
+  With shm disabled/unavailable (``REPRO_SHM=off``, non-Linux), or for
+  models whose state is not arrays (RuleN's rule list), the byte path
+  remains: Checkpointable models round-trip through the npz checkpoint
+  format, anything else pickles.  Both paths restore bit-identical
+  replicas, so they are freely interchangeable.  Workers rebuild the
+  replica lazily on their first shard and re-bind the context graph with
+  ``set_context``.  Subgraph-provider state never travels either: a
+  replica's constructor builds a fresh, empty
   :class:`repro.subgraph.provider.SubgraphProvider` from the checkpointed
   config (policy, capacity, batched extraction), so each worker's cache
   warms on its own shards — per-model caches shard cleanly because caches
   only change wall clock, never scores.
+
+Shared-page lifecycle is owned by the :class:`SupervisedPool`: pages are
+created before fan-out and released (unlinked) after the entire run —
+clean completion, Ctrl-C, dead-worker retries, and the in-process fallback
+sweep alike — so no named segment ever outlives an evaluation.  The
+``shm_attach`` fault site (:data:`repro.shm.ATTACH_FAULT_SITE`) fires in
+workers right before they attach, so chaos plans can drill exactly these
+teardown paths.
 
 Execution is **supervised**, not a bare ``pool.map``: shards dispatch
 asynchronously through :class:`repro.resilience.supervisor.SupervisedPool`
@@ -53,11 +69,12 @@ import pickle
 import warnings
 from dataclasses import dataclass
 from functools import reduce
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple, Union
 
 from repro.eval.evaluator import EvaluationResult, ShardWorkload
-from repro.kg.graph import KnowledgeGraph
+from repro.kg.graph import GraphPageSpec, KnowledgeGraph, graph_from_shm, graph_to_shm
 from repro.resilience import RetryPolicy, SupervisedPool, TaskEvent, fire
+from repro.shm import ATTACH_FAULT_SITE, PageHandle, shm_enabled
 
 #: Shards per worker.  Item costs vary (subgraph sizes differ wildly between
 #: hub and leaf entities), so handing each worker several smaller shards lets
@@ -75,8 +92,12 @@ FAULT_SITE = "shard"
 class ReplicaSpec:
     """A picklable recipe for rebuilding one model replica in a worker."""
 
-    kind: str          #: "checkpoint" (Checkpointable npz bytes) or "pickle"
-    payload: bytes
+    kind: str
+    """``"shm-params"`` (payload is a :class:`~repro.shm.PageSpec` naming a
+    shared parameter page), ``"checkpoint"`` (payload is Checkpointable npz
+    bytes) or ``"pickle"`` (payload is a pickled live object)."""
+
+    payload: Any
 
 
 def __getattr__(name: str):
@@ -143,9 +164,49 @@ def make_model_spec(model) -> ReplicaSpec:
             f"evaluate with workers=1 instead") from exc
 
 
+def make_shm_model_spec(model) -> Tuple[ReplicaSpec, Optional[PageHandle]]:
+    """Like :func:`make_model_spec`, preferring a shared parameter page.
+
+    When shared memory is enabled and the model's state is parameter arrays,
+    the arrays are laid into one read-only page and the returned spec
+    carries only the (tiny) :class:`~repro.shm.PageSpec`; the accompanying
+    :class:`~repro.shm.PageHandle` owns the segment and **must** be released
+    by the caller after the last consumer detaches (hand it to
+    :class:`~repro.resilience.SupervisedPool` via ``resources=``).
+
+    Returns ``(spec, None)`` — the plain byte spec — when shm is disabled or
+    unavailable, when the model's checkpoint state holds no arrays (RuleN's
+    rules are header JSON, so a page would share nothing), or when page
+    creation fails (degrades with a warning, never errors).
+    """
+    if shm_enabled():
+        from repro.core.persistence import Checkpointable, params_to_shm
+        from repro.registry import spec_for_class
+
+        registered_spec = spec_for_class(type(model))
+        if (isinstance(model, Checkpointable)
+                and registered_spec is not None
+                and registered_spec.checkpointable
+                and registered_spec.supports_sharded_eval):
+            try:
+                if model.checkpoint_arrays():
+                    handle = params_to_shm(model)
+                    return ReplicaSpec(kind="shm-params", payload=handle.spec), handle
+            except Exception as exc:
+                warnings.warn(
+                    f"shared-memory parameter page for {type(model).__name__} "
+                    f"failed ({exc!r}); falling back to checkpoint bytes",
+                    RuntimeWarning, stacklevel=2)
+    return make_model_spec(model), None
+
+
 def restore_model(spec: ReplicaSpec):
     """Rebuild the replica described by ``spec`` (worker-side, eval mode)."""
-    if spec.kind == "checkpoint":
+    if spec.kind == "shm-params":
+        from repro.core.persistence import params_from_shm
+
+        model = params_from_shm(spec.payload)
+    elif spec.kind == "checkpoint":
         from repro.core.persistence import model_from_bytes
 
         model = model_from_bytes(spec.payload)
@@ -176,23 +237,45 @@ def contiguous_shards(num_items: int, num_shards: int) -> List[Tuple[int, int]]:
 # --------------------------------------------------------------------- #
 # worker side
 # --------------------------------------------------------------------- #
-#: (model, workload) installed by the pool initializer; one per worker
-#: process, rebuilt on spawn, never shared.  A respawned worker (after a
-#: crash) reruns the initializer, so replicas self-heal.
+#: (spec, workload, graph_ref) stashed by the pool initializer, and the
+#: (model, workload) pair built from it lazily on the worker's first shard.
+#: One per worker process, never shared.  A respawned worker (after a crash)
+#: reruns the initializer, so replicas self-heal.  Replica construction is
+#: *lazy* — in the first task, not the initializer — so an attach failure
+#: (the ``shm_attach`` fault site, a vanished segment) surfaces as a task
+#: error that flows through the supervisor's retry/fallback machinery,
+#: instead of crash-looping the pool's worker respawn.
+_WORKER_ARGS = None
 _WORKER_STATE = None
 
 
-def _init_worker(spec: ReplicaSpec, workload: ShardWorkload, context_graph: KnowledgeGraph) -> None:
+def _init_worker(spec: ReplicaSpec,
+                 workload: ShardWorkload,
+                 graph_ref: Union[KnowledgeGraph, GraphPageSpec]) -> None:
+    global _WORKER_ARGS, _WORKER_STATE
+    _WORKER_ARGS = (spec, workload, graph_ref)
+    _WORKER_STATE = None
+
+
+def _ensure_worker_state(index: int, attempt: int):
+    """Build (model, workload) on first use; attach to shared pages if named."""
     global _WORKER_STATE
-    model = restore_model(spec)
-    model.set_context(context_graph)
-    _WORKER_STATE = (model, workload)
+    if _WORKER_STATE is None:
+        spec, workload, graph_ref = _WORKER_ARGS
+        if spec.kind == "shm-params" or isinstance(graph_ref, GraphPageSpec):
+            fire(ATTACH_FAULT_SITE, index, attempt)
+        model = restore_model(spec)
+        if isinstance(graph_ref, GraphPageSpec):
+            graph_ref = graph_from_shm(graph_ref)
+        model.set_context(graph_ref)
+        _WORKER_STATE = (model, workload)
+    return _WORKER_STATE
 
 
 def _run_shard(index: int, bounds: Tuple[int, int], attempt: int) -> EvaluationResult:
     """Rank one shard.  ``REPRO_FAULTS`` specs at site ``shard`` fire here."""
+    model, workload = _ensure_worker_state(index, attempt)
     fire(FAULT_SITE, index, attempt)
-    model, workload = _WORKER_STATE
     return workload.run(model, bounds[0], bounds[1])
 
 
@@ -218,12 +301,38 @@ def evaluate_sharded(model, workload: ShardWorkload, context_graph: KnowledgeGra
     down; spawned workers never leak).
     """
     workers = min(workers, workload.num_items)
-    spec = make_model_spec(model)
+
+    # Shared pages (when enabled) are created here, before fan-out, and
+    # owned by the SupervisedPool: released after the entire run, fallback
+    # sweep included, on every exit path.  Page-creation failures degrade
+    # to the byte/pickle path — the two are bit-identical by construction.
+    resources: List[PageHandle] = []
+    graph_ref: Union[KnowledgeGraph, GraphPageSpec] = context_graph
+    if shm_enabled():
+        try:
+            graph_spec, graph_handle = graph_to_shm(context_graph)
+        except Exception as exc:
+            warnings.warn(
+                f"shared-memory graph export failed ({exc!r}); shipping the "
+                "pickled graph instead", RuntimeWarning, stacklevel=2)
+        else:
+            resources.append(graph_handle)
+            graph_ref = graph_spec
+    try:
+        spec, params_handle = make_shm_model_spec(model)
+    except BaseException:
+        for handle in resources:
+            handle.release()
+        raise
+    if params_handle is not None:
+        resources.append(params_handle)
+
     bounds = contiguous_shards(workload.num_items, workers * SHARDS_PER_WORKER)
 
     # Parent-side replica for degraded (in-process) shard execution, built
-    # lazily on first use from the same bytes the workers got — the caller's
-    # model object stays unmutated either way.
+    # lazily on first use from the same spec the workers got — the caller's
+    # model object stays unmutated either way.  The parent already holds the
+    # live context graph, so the fallback binds that, not a second mapping.
     replica_cell: List[object] = []
 
     def run_in_process(index: int, shard_bounds: Tuple[int, int]) -> EvaluationResult:
@@ -234,8 +343,8 @@ def evaluate_sharded(model, workload: ShardWorkload, context_graph: KnowledgeGra
         return workload.run(replica_cell[0], shard_bounds[0], shard_bounds[1])
 
     supervisor = SupervisedPool(processes=workers, initializer=_init_worker,
-                                initargs=(spec, workload, context_graph),
-                                policy=policy)
+                                initargs=(spec, workload, graph_ref),
+                                policy=policy, resources=resources)
     partials = supervisor.run(_run_shard, bounds, run_in_process,
                               on_event=on_event, on_interrupt=on_interrupt)
     return reduce(lambda left, right: left.merge(right), partials)

@@ -12,12 +12,13 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.backend import hxp as np  # host-side index math via the backend seam
 
 from repro.kg.triple import Triple
 from repro.kg.vocabulary import Vocabulary
+from repro.shm import AttachedPage, PageHandle, PageSpec, attach_page, create_page
 
 
 def _ragged_take(offsets: np.ndarray, values: np.ndarray, nodes: np.ndarray) -> np.ndarray:
@@ -412,3 +413,252 @@ class KnowledgeGraph:
         """
         return (KnowledgeGraph,
                 (self.num_entities, self.num_relations, self._triples, self.vocabulary))
+
+
+# --------------------------------------------------------------------- #
+# shared-memory export: zero-copy scale-out (repro.shm consumers)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GraphPageSpec:
+    """Attach ticket for a graph page: the shape plus the page manifest.
+
+    Tiny and picklable — this is what crosses the process boundary in place
+    of the pickled graph when shared memory is enabled.
+    """
+
+    num_entities: int
+    num_relations: int
+    page: PageSpec
+
+
+def graph_to_shm(graph: KnowledgeGraph) -> Tuple[GraphPageSpec, PageHandle]:
+    """Export ``graph``'s frozen snapshot into one shared-memory page.
+
+    The page holds everything the scoring hot paths read — the ``(n, 3)``
+    triple array, the five CSR adjacency arrays, a per-entity degree array,
+    sorted membership keys for O(log n) ``contains``, and the Eq. 2
+    relation-component counts as an entity-indexed CSR — so a worker can
+    rebuild a fully usable read-only view without copying a byte.  The
+    caller owns the returned :class:`~repro.shm.PageHandle` and must
+    ``release()`` it when the last consumer is done.
+    """
+    triples = np.ascontiguousarray(graph.triple_array(), dtype=np.int64)
+    heads, relations, tails = triples[:, 0], triples[:, 1], triples[:, 2]
+    adjacency = graph.adjacency()
+    num_entities = graph.num_entities
+    num_relations = graph.num_relations
+
+    degree = (np.bincount(heads, minlength=num_entities)
+              + np.bincount(tails, minlength=num_entities)).astype(np.int64)
+
+    arrays: Dict[str, np.ndarray] = {
+        "triples": triples,
+        "und_offsets": adjacency.und_offsets,
+        "und_neighbors": adjacency.und_neighbors,
+        "out_offsets": adjacency.out_offsets,
+        "out_tails": adjacency.out_tails,
+        "out_relations": adjacency.out_relations,
+        "degree": degree,
+    }
+
+    # Membership keys: each triple encoded as ``(h * R + r) * E + t`` and
+    # sorted for binary search.  Skipped when the encoding could overflow
+    # int64 (absurdly large vocabularies); the view then falls back to a
+    # lazily materialized Python set for ``contains``.
+    has_keys = False
+    if num_entities > 0 and num_relations > 0:
+        max_key = (((num_entities - 1) * num_relations + (num_relations - 1))
+                   * num_entities + (num_entities - 1))
+        if max_key < 2 ** 62:
+            keys = (heads * num_relations + relations) * num_entities + tails
+            arrays["triple_keys"] = np.sort(keys)
+            has_keys = True
+
+    # Relation-component counts (Eq. 2) as an entity-indexed CSR.  Each
+    # triple contributes to *both* endpoints (a self-loop twice), matching
+    # the dict index maintained by :meth:`KnowledgeGraph.add_triple`.
+    pair_entities = np.concatenate([heads, tails])
+    pair_relations = np.concatenate([relations, relations])
+    if num_relations > 0:
+        encoded = pair_entities * num_relations + pair_relations
+        unique, counts = np.unique(encoded, return_counts=True)
+        rc_entities = unique // num_relations
+        rc_relations = unique % num_relations
+    else:
+        rc_entities = np.empty(0, dtype=np.int64)
+        rc_relations = np.empty(0, dtype=np.int64)
+        counts = np.empty(0, dtype=np.int64)
+    rc_offsets = np.zeros(num_entities + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rc_entities, minlength=num_entities), out=rc_offsets[1:])
+    arrays["rc_offsets"] = rc_offsets
+    arrays["rc_relations"] = rc_relations.astype(np.int64)
+    arrays["rc_counts"] = counts.astype(np.int64)
+
+    handle = create_page(arrays, header={
+        "kind": "graph-csr",
+        "num_entities": num_entities,
+        "num_relations": num_relations,
+        "has_keys": has_keys,
+    })
+    spec = GraphPageSpec(num_entities=num_entities,
+                         num_relations=num_relations,
+                         page=handle.spec)
+    return spec, handle
+
+
+def graph_from_shm(spec: GraphPageSpec, verify: bool = True) -> "SharedGraphView":
+    """Attach the page named by ``spec`` and rebuild a read-only graph view."""
+    page = attach_page(spec.page, verify=verify)
+    return SharedGraphView(spec, page)
+
+
+class SharedGraphView(KnowledgeGraph):
+    """Read-only :class:`KnowledgeGraph` backed by a shared CSR page.
+
+    Everything the scoring hot paths touch — :meth:`adjacency`,
+    :meth:`degree`, :meth:`contains`, :meth:`relation_component_table`,
+    :meth:`triple_array` — is answered straight from zero-copy array views
+    over the page buffer; per-process marginal memory is O(1), not
+    O(graph).  The Python-dict indexes of the base class (``triples_from``,
+    ``triples_of``, iteration as :class:`Triple` objects) are materialized
+    lazily on first use so dict-API consumers like RuleN still work, at the
+    cost of a private copy in that one process.  Mutation raises
+    ``TypeError``; :meth:`KnowledgeGraph.copy` hands back a regular mutable
+    graph.
+    """
+
+    _LAZY_INDEXES = ("_triples", "_triple_set", "_out", "_in",
+                     "_undirected", "_relation_counts")
+
+    def __init__(self, spec: GraphPageSpec, page: AttachedPage):
+        # Deliberately *not* calling KnowledgeGraph.__init__: the dict
+        # indexes it builds are exactly the O(graph) per-process cost this
+        # view exists to avoid.
+        self.num_entities = spec.num_entities
+        self.num_relations = spec.num_relations
+        self.vocabulary = None
+        self.shm_spec = spec
+        self._page = page
+        arrays = page.arrays
+        self._shared_triples = arrays["triples"]
+        self._degree_array = arrays["degree"]
+        self._triple_keys = arrays.get("triple_keys")
+        self._rc_offsets = arrays["rc_offsets"]
+        self._rc_relations = arrays["rc_relations"]
+        self._rc_counts = arrays["rc_counts"]
+        self._adjacency = CSRAdjacency(
+            num_nodes=spec.num_entities,
+            und_offsets=arrays["und_offsets"],
+            und_neighbors=arrays["und_neighbors"],
+            out_offsets=arrays["out_offsets"],
+            out_tails=arrays["out_tails"],
+            out_relations=arrays["out_relations"],
+        )
+
+    # -- lifecycle ------------------------------------------------------ #
+    def close(self) -> None:
+        """Drop this process's mapping (best effort; views may pin it)."""
+        page, self._page = self._page, None
+        if page is not None:
+            page.close()
+
+    # -- mutation is forbidden ------------------------------------------ #
+    def add_triple(self, triple: Triple) -> bool:
+        raise TypeError("SharedGraphView is read-only; use .copy() to get a "
+                        "mutable graph")
+
+    def add_triples(self, triples: Iterable[Triple]) -> int:
+        raise TypeError("SharedGraphView is read-only; use .copy() to get a "
+                        "mutable graph")
+
+    # -- zero-copy query overrides -------------------------------------- #
+    def triple_array(self) -> np.ndarray:
+        return self._shared_triples
+
+    def num_triples(self) -> int:
+        return int(self._shared_triples.shape[0])
+
+    def __len__(self) -> int:
+        return int(self._shared_triples.shape[0])
+
+    def __iter__(self) -> Iterator[Triple]:
+        for head, relation, tail in self._shared_triples:
+            yield Triple(int(head), int(relation), int(tail))
+
+    def contains(self, head: int, relation: int, tail: int) -> bool:
+        if not (0 <= head < self.num_entities
+                and 0 <= tail < self.num_entities
+                and 0 <= relation < self.num_relations):
+            return False
+        keys = self._triple_keys
+        if keys is not None:
+            key = (head * self.num_relations + relation) * self.num_entities + tail
+            index = int(np.searchsorted(keys, key))
+            return index < keys.size and int(keys[index]) == key
+        return (head, relation, tail) in self._triple_set
+
+    def __contains__(self, triple: Triple) -> bool:
+        return self.contains(triple.head, triple.relation, triple.tail)
+
+    def degree(self, entity: int) -> int:
+        if 0 <= entity < self.num_entities:
+            return int(self._degree_array[entity])
+        return 0
+
+    def neighbors(self, entity: int) -> Set[int]:
+        if 0 <= entity < self.num_entities:
+            return {int(n) for n in self._adjacency.neighbors(entity)}
+        return set()
+
+    def entities(self) -> List[int]:
+        if self._shared_triples.shape[0] == 0:
+            return []
+        return [int(e) for e in np.unique(self._shared_triples[:, (0, 2)])]
+
+    def relations(self) -> List[int]:
+        if self._shared_triples.shape[0] == 0:
+            return []
+        return [int(r) for r in np.unique(self._shared_triples[:, 1])]
+
+    def relation_component_table(self, entity: int) -> np.ndarray:
+        counts = np.zeros(self.num_relations, dtype=np.float64)
+        if 0 <= entity < self.num_entities:
+            start = int(self._rc_offsets[entity])
+            stop = int(self._rc_offsets[entity + 1])
+            counts[self._rc_relations[start:stop]] = self._rc_counts[start:stop]
+        return counts
+
+    # -- lazy dict-index fallback (RuleN and friends) ------------------- #
+    def __getattr__(self, name: str):
+        if name in SharedGraphView._LAZY_INDEXES:
+            self._materialize_indexes()
+            return self.__dict__[name]
+        raise AttributeError(name)
+
+    def _materialize_indexes(self) -> None:
+        """Build the base class's dict indexes from the shared triple array.
+
+        Only consumers that genuinely need Triple objects or per-entity
+        triple lists pay this; the scoring hot paths never do.
+        """
+        triples = [Triple(int(h), int(r), int(t))
+                   for h, r, t in self._shared_triples]
+        out: Dict[int, List[Triple]] = defaultdict(list)
+        in_: Dict[int, List[Triple]] = defaultdict(list)
+        undirected: Dict[int, Set[int]] = defaultdict(set)
+        relation_counts: Dict[int, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+        for triple in triples:
+            out[triple.head].append(triple)
+            in_[triple.tail].append(triple)
+            undirected[triple.head].add(triple.tail)
+            undirected[triple.tail].add(triple.head)
+            relation_counts[triple.head][triple.relation] += 1
+            relation_counts[triple.tail][triple.relation] += 1
+        self.__dict__.update(
+            _triples=triples,
+            _triple_set={t.astuple() for t in triples},
+            _out=out,
+            _in=in_,
+            _undirected=undirected,
+            _relation_counts=relation_counts,
+        )

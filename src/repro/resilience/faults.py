@@ -67,6 +67,12 @@ class FaultInjected(RuntimeError):
         self.index = index
         self.attempt = attempt
 
+    def __reduce__(self):
+        # RuntimeError's default reduce replays ``args`` (the formatted
+        # message) into ``__init__``, which takes (site, index, attempt) —
+        # so a worker-raised fault would fail to unpickle in the parent.
+        return (type(self), (self.site, self.index, self.attempt))
+
 
 @dataclass(frozen=True)
 class FaultSpec:

@@ -137,7 +137,8 @@ class SupervisedPool:
     def __init__(self, processes: int,
                  initializer: Optional[Callable] = None,
                  initargs: Tuple = (),
-                 policy: Optional[RetryPolicy] = None):
+                 policy: Optional[RetryPolicy] = None,
+                 resources: Sequence[Any] = ()):
         if processes < 1:
             raise ValueError("processes must be >= 1")
         self.processes = processes
@@ -145,6 +146,22 @@ class SupervisedPool:
         self.initargs = initargs
         self.policy = policy or RetryPolicy()
         self.events: List[TaskEvent] = []
+        #: Shared resources (objects with ``release()``, e.g. shm
+        #: :class:`~repro.shm.PageHandle` pages) whose lifecycle this pool
+        #: owns: created by the caller before fan-out, released by
+        #: :meth:`run` after the *entire* run — including the in-process
+        #: fallback sweep, which may still attach to them — on every exit
+        #: path: clean completion, Ctrl-C, dead-worker retries, errors.
+        self._resources: List[Any] = list(resources)
+
+    def release_resources(self) -> None:
+        """Release owned shared resources (idempotent, best-effort)."""
+        resources, self._resources = self._resources, []
+        for resource in resources:
+            try:
+                resource.release()
+            except Exception:  # teardown must not mask the run's outcome
+                pass
 
     # ------------------------------------------------------------------ #
     def run(self, func: Callable, payloads: Sequence[Any],
@@ -159,45 +176,50 @@ class SupervisedPool:
         events as they happen; ``on_interrupt(completed, total)`` runs after
         pool teardown when the caller hits Ctrl-C.
         """
-        total = len(payloads)
-        results: List[Any] = [_PENDING] * total
-        if total == 0:
-            return []
-        context = get_context("spawn")
-        channel = context.SimpleQueue()
-        pool = context.Pool(processes=self.processes,
-                            initializer=_supervised_init,
-                            initargs=(channel, self.initializer, self.initargs))
-        completed = 0
-
-        def record(kind: str, index: int, attempt: int, detail: str = "") -> TaskEvent:
-            event = TaskEvent(kind=kind, index=index, attempt=attempt, detail=detail)
-            self.events.append(event)
-            if on_event is not None:
-                on_event(event)
-            return event
-
         try:
+            total = len(payloads)
+            results: List[Any] = [_PENDING] * total
+            if total == 0:
+                return []
+            context = get_context("spawn")
+            channel = context.SimpleQueue()
+            pool = context.Pool(processes=self.processes,
+                                initializer=_supervised_init,
+                                initargs=(channel, self.initializer, self.initargs))
+            completed = 0
+
+            def record(kind: str, index: int, attempt: int, detail: str = "") -> TaskEvent:
+                event = TaskEvent(kind=kind, index=index, attempt=attempt, detail=detail)
+                self.events.append(event)
+                if on_event is not None:
+                    on_event(event)
+                return event
+
             try:
-                completed = self._supervise(pool, channel, func, payloads,
-                                            results, fallback, record)
-            finally:
-                # terminate(), not close(): hung workers never drain a task
-                # queue, and a killed run must not leak spawn children.
-                pool.terminate()
-                pool.join()
-        except KeyboardInterrupt:
-            if on_interrupt is not None:
-                completed = sum(1 for r in results if r is not _PENDING)
-                on_interrupt(completed, total)
-            raise
-        # Anything the supervision loop gave up on runs in-process, in task
-        # order, so the result list is always complete and ordered.
-        for index in range(total):
-            if results[index] is _PENDING:
-                record("fallback", index, 0, "pool unavailable; ran in-process")
-                results[index] = fallback(index, payloads[index])
-        return results
+                try:
+                    completed = self._supervise(pool, channel, func, payloads,
+                                                results, fallback, record)
+                finally:
+                    # terminate(), not close(): hung workers never drain a task
+                    # queue, and a killed run must not leak spawn children.
+                    pool.terminate()
+                    pool.join()
+            except KeyboardInterrupt:
+                if on_interrupt is not None:
+                    completed = sum(1 for r in results if r is not _PENDING)
+                    on_interrupt(completed, total)
+                raise
+            # Anything the supervision loop gave up on runs in-process, in task
+            # order, so the result list is always complete and ordered.  This
+            # sweep may still attach to owned resources (an shm-backed
+            # fallback replica), which is why release happens after it.
+            for index in range(total):
+                if results[index] is _PENDING:
+                    record("fallback", index, 0, "pool unavailable; ran in-process")
+                    results[index] = fallback(index, payloads[index])
+            return results
+        finally:
+            self.release_resources()
 
     # ------------------------------------------------------------------ #
     def _supervise(self, pool, channel, func, payloads, results,

@@ -10,24 +10,31 @@ without ever changing a score bit (see
 
 Layers, transport-agnostic inward:
 
-* :mod:`repro.serving.coalescer` — queue + flush thread + futures;
+* :mod:`repro.serving.coalescer` — queue + flush thread + futures +
+  bounded-queue backpressure;
+* :mod:`repro.serving.replicas` — multi-process scoring replicas sharing
+  the model and graph via read-only shared-memory pages;
 * :mod:`repro.serving.service` — models, provider sharing, telemetry;
 * :mod:`repro.serving.daemon` — ndjson TCP transport + graceful lifecycle;
 * :mod:`repro.serving.client` — in-process and socket clients.
 """
 
 from repro.serving.client import InProcessClient, ServingError, SocketClient
-from repro.serving.coalescer import CoalescerClosed, RequestCoalescer
+from repro.serving.coalescer import (CoalescerClosed, RequestCoalescer,
+                                     ServiceOverloaded)
 from repro.serving.daemon import (ScoringServer, handle_request, run_daemon,
                                   serve, wait_until_serving)
+from repro.serving.replicas import ReplicaPool
 from repro.serving.service import ScoringService
 
 __all__ = [
     "CoalescerClosed",
     "InProcessClient",
+    "ReplicaPool",
     "RequestCoalescer",
     "ScoringServer",
     "ScoringService",
+    "ServiceOverloaded",
     "ServingError",
     "SocketClient",
     "handle_request",

@@ -22,6 +22,13 @@ adjacent same-model requests concatenate into one call, capped at
 ``max_batch`` triples, and the result is sliced back per request —
 bit-identical either way, but one model entry instead of N.
 
+**Backpressure.**  With ``max_pending`` set, ``submit`` rejects new
+requests with :class:`ServiceOverloaded` once that many are already
+queued, instead of buffering without bound when arrivals outrun the
+latency budget.  The daemon surfaces the rejection as a structured
+``overloaded`` error response and counts it in telemetry
+(``rejected_requests``); already-queued requests are unaffected.
+
 Fault sites (see :mod:`repro.resilience.faults`): ``serve_flush`` fires at
 the start of flush *N* (attempt 0).  A ``raise`` degrades that flush to
 per-request execution — every future still resolves, scores unchanged; a
@@ -58,6 +65,17 @@ class CoalescerClosed(RuntimeError):
     """Raised by ``submit`` after ``close()``; no future is ever created."""
 
 
+class ServiceOverloaded(RuntimeError):
+    """Raised by ``submit`` when the bounded pending queue is full.
+
+    Connection-level backpressure: when arrivals outrun the latency budget,
+    the queue stops growing at ``max_pending`` requests and the daemon
+    answers a structured ``overloaded`` error instead of buffering without
+    bound.  No future is created for a rejected request, so nothing leaks
+    and nothing resolves late — the client retries or backs off.
+    """
+
+
 class RequestCoalescer:
     """Queue + flush thread turning concurrent requests into batched compute.
 
@@ -70,15 +88,19 @@ class RequestCoalescer:
 
     def __init__(self, score_fn: Callable[[str, List[Triple]], Sequence[float]],
                  *, max_batch: int = 64, max_wait_ms: float = 2.0,
-                 fusable: Optional[Callable[[str], bool]] = None):
+                 fusable: Optional[Callable[[str], bool]] = None,
+                 max_pending: Optional[int] = None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None for unbounded)")
         self._score_fn = score_fn
         self._fusable = fusable if fusable is not None else (lambda model: False)
         self.max_batch = int(max_batch)
         self.max_wait_ms = float(max_wait_ms)
+        self.max_pending = None if max_pending is None else int(max_pending)
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._queue: List[_Pending] = []
@@ -89,6 +111,7 @@ class RequestCoalescer:
         self._flushes = 0
         self._degraded_flushes = 0
         self._requests = 0
+        self._rejected_requests = 0
         self._fused_requests = 0
         self._request_histogram: Dict[int, int] = {}
         self._triple_histogram: Dict[int, int] = {}
@@ -104,6 +127,12 @@ class RequestCoalescer:
         with self._wake:
             if self._closed:
                 raise CoalescerClosed("coalescer is closed; request rejected")
+            if (self.max_pending is not None
+                    and len(self._queue) >= self.max_pending):
+                self._rejected_requests += 1
+                raise ServiceOverloaded(
+                    f"{len(self._queue)} requests pending (max_pending="
+                    f"{self.max_pending}); retry with backoff")
             self._queue.append(request)
             self._queued_triples += len(request.triples)
             self._requests += 1
@@ -244,11 +273,13 @@ class RequestCoalescer:
         with self._lock:
             return {
                 "requests": self._requests,
+                "rejected_requests": self._rejected_requests,
                 "flushes": self._flushes,
                 "degraded_flushes": self._degraded_flushes,
                 "fused_requests": self._fused_requests,
                 "max_batch": self.max_batch,
                 "max_wait_ms": self.max_wait_ms,
+                "max_pending": self.max_pending,
                 "requests_per_flush": {str(size): count for size, count
                                        in sorted(self._request_histogram.items())},
                 "triples_per_flush": {str(size): count for size, count

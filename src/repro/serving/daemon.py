@@ -10,9 +10,13 @@ Ops: ``ping``, ``models``, ``score``, ``score_many``, ``rank``,
 ``compare``, ``stats``, ``shutdown``.  Responses are ``{"ok": true,
 "result": ...}`` or ``{"ok": false, "error": "..."}``; a malformed or
 failing request never takes the daemon down — the connection gets the
-error line and the loop keeps serving.  Concurrency comes from
-thread-per-connection accept; compute stays serialized (and batched across
-connections) on the service's coalescer flush thread.
+error line and the loop keeps serving.  When the service's bounded
+pending queue is full the response carries ``"code": "overloaded"`` so
+clients can back off programmatically.  Concurrency comes from
+thread-per-connection accept; compute stays serialized (and batched
+across connections) on the service's coalescer flush thread — which, with
+``--replicas N``, dispatches each flushed batch to one of N spawned
+scoring replicas sharing the model/graph via read-only shm pages.
 
 Lifecycle: SIGTERM and SIGINT (Ctrl-C) stop the accept loop, drain every
 in-flight request, and flush telemetry through the PR 7 atomic writer —
@@ -35,6 +39,7 @@ import threading
 from typing import Any, Dict, Optional, Tuple
 
 from repro.resilience import FaultInjected, fire
+from repro.serving.coalescer import ServiceOverloaded
 from repro.serving.service import ScoringService
 
 #: Fault site fired once per decoded request line.
@@ -73,6 +78,11 @@ def handle_request(service: ScoringService, request: Dict[str, Any],
                              "['ping', 'models', 'score', 'score_many', "
                              "'rank', 'compare', 'stats', 'shutdown']")
         return {"ok": True, "result": result}
+    except ServiceOverloaded as error:
+        # Structured backpressure: the bounded pending queue is full.  The
+        # "code" field lets clients branch on it without parsing prose.
+        return {"ok": False, "error": f"overloaded: {error}",
+                "code": "overloaded"}
     except FaultInjected as error:
         return {"ok": False, "error": f"degraded: {error}"}
     except (KeyError, TypeError, ValueError) as error:

@@ -1,0 +1,203 @@
+"""Multi-process serving replicas over shared-memory pages.
+
+The PR 9 serving daemon batches concurrent connections onto one coalescer
+flush thread, but all compute still runs in the daemon process.  A
+:class:`ReplicaPool` moves the scoring itself into ``replicas`` spawned
+worker processes behind that same coalescer: each flushed batch dispatches
+to a replica, and the replicas share **one** CSR graph page plus one
+read-only parameter page per model (see :mod:`repro.shm`), so adding a
+replica costs a few page mappings — not another copy of the model and
+graph.
+
+Bit-identity is inherited, not re-proven: a replica restores its model
+through the same :class:`~repro.eval.sharding.ReplicaSpec` machinery the
+evaluation shards use (checkpoint round-trip or zero-copy page adoption,
+both exact), binds the same frozen CSR snapshot, and executes exactly the
+``score_many`` composition the coalescer hands it — so replica responses
+equal the in-process path bit for bit, and the serving equivalence gates
+stay hard.
+
+Lifecycle mirrors :class:`~repro.resilience.SupervisedPool`: the pool owns
+its pages — created before the replicas spawn, released on ``close()``
+(idempotent, runs on daemon shutdown, Ctrl-C, and ``with`` exit alike) —
+so no named segment survives the daemon.
+
+Models that cannot be shipped to a worker (unregistered and unpicklable,
+registered with ``supports_sharded_eval=False``, or still in training
+mode — a replica cannot reproduce mid-stream dropout draws) simply stay
+in-process: :meth:`ReplicaPool.serves` tells the service which names route
+to replicas, and the rest score on the flush thread as before.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.eval.sharding import ReplicaSpec, make_shm_model_spec, restore_model
+from repro.kg.graph import GraphPageSpec, KnowledgeGraph, graph_from_shm, graph_to_shm
+from repro.kg.triple import Triple
+from repro.shm import PageHandle, shm_enabled
+
+#: Telemetry key space kept intentionally small; see :meth:`ReplicaPool.stats`.
+_GraphRef = Union[KnowledgeGraph, GraphPageSpec]
+
+
+# --------------------------------------------------------------------- #
+# replica (worker) side
+# --------------------------------------------------------------------- #
+#: (specs, graph_ref) stashed by the initializer, and the live
+#: {name: model} map built from it lazily on the replica's first request —
+#: lazy for the same reason the eval shards attach lazily: an attach
+#: failure must surface as a request error, not an initializer crash loop.
+_REPLICA_ARGS = None
+_REPLICA_MODELS = None
+
+
+def _init_replica(specs: Dict[str, ReplicaSpec], graph_ref: _GraphRef) -> None:
+    global _REPLICA_ARGS, _REPLICA_MODELS
+    _REPLICA_ARGS = (specs, graph_ref)
+    _REPLICA_MODELS = None
+
+
+def _ensure_replica_models() -> Dict[str, Any]:
+    global _REPLICA_MODELS
+    if _REPLICA_MODELS is None:
+        specs, graph_ref = _REPLICA_ARGS
+        if isinstance(graph_ref, GraphPageSpec):
+            graph_ref = graph_from_shm(graph_ref)
+        models: Dict[str, Any] = {}
+        for name, spec in specs.items():
+            model = restore_model(spec)
+            model.set_context(graph_ref)
+            models[name] = model
+        _REPLICA_MODELS = models
+    return _REPLICA_MODELS
+
+
+def _replica_score(name: str, triples: List[Tuple[int, int, int]]) -> List[float]:
+    """Score one coalesced group in the replica (exact submitted composition)."""
+    models = _ensure_replica_models()
+    scores = models[name].score_many([Triple(*t) for t in triples])
+    return [float(score) for score in scores]
+
+
+# --------------------------------------------------------------------- #
+# daemon (parent) side
+# --------------------------------------------------------------------- #
+class ReplicaPool:
+    """Spawned scoring replicas sharing one graph page + parameter pages.
+
+    ``score(name, triples)`` blocks until a replica returns — it is called
+    from the coalescer's flush thread, which is the serialization point, so
+    the pool adds process isolation and shared-page memory behaviour
+    without changing request ordering or scores.
+    """
+
+    def __init__(self, models: Mapping[str, Any], graph: KnowledgeGraph,
+                 replicas: int):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = int(replicas)
+        self._handles: List[PageHandle] = []
+        self._specs: Dict[str, ReplicaSpec] = {}
+        self._dispatched = 0
+        self._pool = None
+
+        graph_ref: _GraphRef = graph
+        try:
+            if shm_enabled():
+                try:
+                    graph_spec, graph_handle = graph_to_shm(graph)
+                except Exception as exc:
+                    warnings.warn(
+                        f"shared-memory graph export failed ({exc!r}); "
+                        "replicas will deserialize the pickled graph",
+                        RuntimeWarning, stacklevel=2)
+                else:
+                    self._handles.append(graph_handle)
+                    graph_ref = graph_spec
+            for name, model in models.items():
+                if getattr(model, "training", False):
+                    # Same rule as sharded evaluation: training-mode dropout
+                    # draws come from a mid-stream RNG no replica can
+                    # reproduce, so shipping would silently break the
+                    # bit-identity guarantee.  The model keeps scoring on
+                    # the flush thread instead.
+                    warnings.warn(
+                        f"model {name!r} is in training mode and stays "
+                        "in-process (call model.eval() to serve it from "
+                        "replicas)", RuntimeWarning, stacklevel=2)
+                    continue
+                try:
+                    spec, handle = make_shm_model_spec(model)
+                except Exception as exc:
+                    warnings.warn(
+                        f"model {name!r} cannot be shipped to serving replicas "
+                        f"({exc!r}); it stays in-process", RuntimeWarning,
+                        stacklevel=2)
+                    continue
+                if handle is not None:
+                    self._handles.append(handle)
+                self._specs[name] = spec
+            if not self._specs:
+                raise ValueError(
+                    "no served model can be shipped to replicas; "
+                    "run without --replicas")
+            from multiprocessing import get_context
+
+            context = get_context("spawn")
+            self._pool = context.Pool(processes=self.replicas,
+                                      initializer=_init_replica,
+                                      initargs=(self._specs, graph_ref))
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    def serves(self, name: str) -> bool:
+        """Whether requests for model ``name`` route to the replicas."""
+        return self._pool is not None and name in self._specs
+
+    def score(self, name: str, triples: Sequence[Triple]) -> List[float]:
+        """Dispatch one coalesced group to a replica and return its scores."""
+        if self._pool is None:
+            raise RuntimeError("replica pool is closed")
+        encoded = [triple.astuple() for triple in triples]
+        result = self._pool.apply_async(_replica_score, (name, encoded)).get()
+        self._dispatched += 1
+        return result
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "replicas": self.replicas,
+            "models": sorted(self._specs),
+            "dispatched_batches": self._dispatched,
+            "shared_pages": len(self._handles),
+        }
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Terminate the replicas and release every shared page (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        handles, self._handles = self._handles, []
+        for handle in handles:
+            try:
+                handle.release()
+            except Exception:  # teardown must not mask the daemon's exit
+                pass
+
+    def __enter__(self) -> "ReplicaPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # belt and braces; close() is the contract
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -71,7 +71,9 @@ class ScoringService:
     def __init__(self, models: Mapping[str, Any], graph: KnowledgeGraph, *,
                  max_batch: int = 64, max_wait_ms: float = 2.0,
                  stats_path: Optional[PathLike] = None,
-                 share_providers: bool = True):
+                 share_providers: bool = True,
+                 replicas: int = 0,
+                 max_pending: Optional[int] = None):
         if not models:
             raise ValueError("a scoring service needs at least one model")
         self._models: Dict[str, Any] = dict(models)
@@ -87,9 +89,19 @@ class ScoringService:
         self._fusable = {name: bool(specs[name].batch_invariant_scoring)
                          if name in specs else False
                          for name in self._models}
+        # Multi-process replicas (opt-in): flushed batches dispatch to
+        # spawned workers sharing one CSR page + per-model parameter pages;
+        # scores stay bit-identical to the in-process path.  Models the
+        # pool cannot ship keep scoring on the flush thread.
+        self._replica_pool = None
+        if replicas > 0:
+            from repro.serving.replicas import ReplicaPool
+
+            self._replica_pool = ReplicaPool(self._models, graph, replicas)
         self._coalescer = RequestCoalescer(
             self._direct_score, max_batch=max_batch, max_wait_ms=max_wait_ms,
-            fusable=lambda name: self._fusable.get(name, False))
+            fusable=lambda name: self._fusable.get(name, False),
+            max_pending=max_pending)
         self._telemetry_lock = threading.Lock()
         self._op_counts: Dict[str, int] = {}
         self._errors = 0
@@ -158,15 +170,20 @@ class ScoringService:
         return shared
 
     def _direct_score(self, name: str, triples: List[Triple]) -> Sequence[float]:
-        """Uncoalesced scoring — the coalescer's compute function and the
-        reference the equivalence gates compare daemon responses against."""
-        try:
-            model = self._models[name]
-        except KeyError:
+        """The coalescer's compute function: replica dispatch or in-process.
+
+        With a replica pool, flushed groups for shippable models run in a
+        spawned replica over shared pages; everything else (and every
+        request when ``replicas=0``) scores in-process.  Both paths execute
+        exactly the handed-in composition and return bit-identical scores,
+        so the equivalence gates hold regardless of routing.
+        """
+        if name not in self._models:
             raise ValueError(
-                f"model {name!r} is not served; loaded: {sorted(self._models)}"
-            ) from None
-        return model.score_many(triples)
+                f"model {name!r} is not served; loaded: {sorted(self._models)}")
+        if self._replica_pool is not None and self._replica_pool.serves(name):
+            return self._replica_pool.score(name, triples)
+        return self._models[name].score_many(triples)
 
     def _record(self, op: str, started_at: float) -> None:
         with self._telemetry_lock:
@@ -309,6 +326,8 @@ class ScoringService:
             "latency": percentiles,
             "coalescer": self._coalescer.stats(),
             "providers": providers,
+            "replicas": (self._replica_pool.stats()
+                         if self._replica_pool is not None else None),
         }
 
     def coalescer_stats(self) -> Dict[str, Any]:
@@ -335,8 +354,15 @@ class ScoringService:
         if self._closed:
             return None
         self._closed = True
-        self._coalescer.close()
-        return self.flush_stats()
+        # Order matters: the coalescer drain may still dispatch queued
+        # requests to replicas, so the pool (and its shared pages) tears
+        # down after the last flush resolves.
+        try:
+            self._coalescer.close()
+            return self.flush_stats()
+        finally:
+            if self._replica_pool is not None:
+                self._replica_pool.close()
 
     def __enter__(self) -> "ScoringService":
         return self

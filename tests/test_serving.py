@@ -29,8 +29,10 @@ from repro.kg.triple import Triple
 from repro.registry import build_model, model_names, registered_models
 from repro.resilience import install_fault_plan, reset_fault_state
 from repro.serving import (CoalescerClosed, InProcessClient, RequestCoalescer,
-                           ScoringService, ServingError, SocketClient,
-                           handle_request, serve, wait_until_serving)
+                           ScoringService, ServiceOverloaded, ServingError,
+                           SocketClient, handle_request, serve,
+                           wait_until_serving)
+from repro.shm import active_segments
 
 
 @pytest.fixture(autouse=True)
@@ -397,6 +399,142 @@ def test_socket_round_trip_and_shutdown_drain(serving_dataset, tmp_path):
     flushed = json.loads(stats_path.read_text())
     assert flushed["requests"] >= 1  # only scoring ops count as requests
     assert "coalescer" in flushed
+
+
+# --------------------------------------------------------------------- #
+# multi-process serving replicas (shared-memory pages)
+# --------------------------------------------------------------------- #
+class _SlowModel:
+    """A deliberately slow scorer for backpressure tests."""
+
+    name = "slow"
+
+    def set_context(self, graph):
+        pass
+
+    def score_many(self, triples):
+        time.sleep(0.15)
+        return [0.0] * len(triples)
+
+    def num_parameters(self):
+        return 0
+
+
+class TestServingReplicas:
+    def _eval_models(self, graph, names):
+        models = {name: build_model(name, num_entities=graph.num_entities,
+                                    num_relations=graph.num_relations,
+                                    embedding_dim=8, seed=0)
+                  for name in names}
+        for model in models.values():
+            if hasattr(model, "eval"):
+                model.eval()
+        return models
+
+    def test_replica_scores_bit_identical_and_segments_released(
+            self, serving_dataset):
+        graph = serving_dataset.split.evaluation_graph()
+        models = self._eval_models(graph, ["DEKG-ILP", "TransE"])
+        triples = list(serving_dataset.test_triples[:5])
+        service = ScoringService(models, graph, max_wait_ms=1.0, replicas=2)
+        try:
+            for name in models:
+                direct = [float(s) for s in models[name].score_many(triples)]
+                served = InProcessClient(service).score_many(name, triples)
+                assert served == direct, \
+                    f"{name}: replica-served scores diverged from direct"
+            replica_stats = service.stats()["replicas"]
+            assert replica_stats["replicas"] == 2
+            assert replica_stats["dispatched_batches"] >= 1
+            assert set(replica_stats["models"]) == set(models)
+        finally:
+            service.close()
+        listed = active_segments()
+        assert listed in (None, []), f"leaked shm segments: {listed}"
+
+    def test_training_mode_model_stays_in_process(self, serving_dataset):
+        graph = serving_dataset.split.evaluation_graph()
+        models = self._eval_models(graph, ["TransE"])
+        trainee = build_model("DEKG-ILP", num_entities=graph.num_entities,
+                              num_relations=graph.num_relations,
+                              embedding_dim=8, seed=0)
+        assert trainee.training
+        models["DEKG-ILP"] = trainee
+        triples = list(serving_dataset.test_triples[:3])
+        with pytest.warns(RuntimeWarning, match="training mode"):
+            service = ScoringService(models, graph, max_wait_ms=1.0, replicas=1)
+        try:
+            pool = service._replica_pool
+            assert pool.serves("TransE")
+            assert not pool.serves("DEKG-ILP")
+            # The in-process path still serves the unshipped model, scores
+            # unchanged.
+            direct = [float(s) for s in trainee.score_many(triples)]
+            assert InProcessClient(service).score_many("DEKG-ILP",
+                                                       triples) == direct
+        finally:
+            service.close()
+
+    def test_close_is_idempotent_and_late_close_safe(self, serving_dataset):
+        graph = serving_dataset.split.evaluation_graph()
+        models = self._eval_models(graph, ["TransE"])
+        service = ScoringService(models, graph, max_wait_ms=1.0, replicas=1)
+        service.close()
+        service.close()
+        listed = active_segments()
+        assert listed in (None, []), f"leaked shm segments: {listed}"
+
+
+# --------------------------------------------------------------------- #
+# connection-level backpressure
+# --------------------------------------------------------------------- #
+class TestBackpressure:
+    def test_bounded_queue_rejects_and_counts(self, serving_dataset):
+        graph = serving_dataset.split.evaluation_graph()
+        service = ScoringService({"slow": _SlowModel()}, graph,
+                                 max_wait_ms=40.0, max_pending=1)
+        try:
+            first = service.submit("slow", [Triple(0, 0, 1)])
+            rejected = 0
+            for _ in range(4):
+                try:
+                    service.submit("slow", [Triple(0, 0, 1)])
+                except ServiceOverloaded:
+                    rejected += 1
+            assert rejected >= 1, "bounded queue never rejected a request"
+            assert first.result(timeout=10) == [0.0]
+            assert service.stats()["coalescer"]["rejected_requests"] == rejected
+            assert service.stats()["coalescer"]["max_pending"] == 1
+        finally:
+            service.close()
+
+    def test_wire_response_carries_overloaded_code(self, serving_dataset):
+        graph = serving_dataset.split.evaluation_graph()
+        service = ScoringService({"slow": _SlowModel()}, graph,
+                                 max_wait_ms=40.0, max_pending=1)
+        try:
+            service.submit("slow", [Triple(0, 0, 1)])
+            response = None
+            for _ in range(4):
+                response = handle_request(
+                    service, {"op": "score", "model": "slow",
+                              "head": 0, "relation": 0, "tail": 1})
+                if not response["ok"]:
+                    break
+            assert response is not None and not response["ok"]
+            assert response["code"] == "overloaded"
+            assert "retry with backoff" in response["error"]
+        finally:
+            service.close()
+
+    def test_unbounded_by_default(self):
+        coalescer = RequestCoalescer(lambda m, ts: [0.0] * len(ts))
+        assert coalescer.max_pending is None
+        coalescer.close()
+
+    def test_invalid_max_pending_rejected(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            RequestCoalescer(lambda m, ts: [], max_pending=0)
 
 
 # --------------------------------------------------------------------- #
